@@ -1,0 +1,47 @@
+// Command fscompare runs the out-of-core workload through every modeled file
+// system on identical hardware and prints the comparison — the interactive
+// version of the paper's Figure 7 study, with selectable NVM type and
+// workload scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"oocnvm/internal/experiment"
+	"oocnvm/internal/nvm"
+	"oocnvm/internal/ooc"
+)
+
+func main() {
+	var (
+		matrix = flag.Int("matrix", 256, "Hamiltonian footprint in MiB")
+		panel  = flag.Int("panel", 8, "row-panel read size in MiB")
+		apps   = flag.Int("apps", 2, "operator applications")
+		seed   = flag.Uint64("seed", 42, "seed")
+	)
+	flag.Parse()
+
+	opt := experiment.DefaultOptions()
+	opt.Workload = ooc.Workload{
+		MatrixBytes:  int64(*matrix) << 20,
+		PanelBytes:   int64(*panel) << 20,
+		Applications: *apps,
+	}
+	opt.Seed = *seed
+
+	configs := experiment.FileSystemConfigs()
+	ms, err := experiment.Matrix(configs, nvm.CellTypes, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fscompare:", err)
+		os.Exit(1)
+	}
+	fmt.Print(experiment.FormatBandwidthTable("File-system comparison", ms, configs, nvm.CellTypes))
+	fmt.Println()
+	fmt.Print(experiment.FormatRemainingTable("Media capability left over", ms, configs, nvm.CellTypes))
+	fmt.Println()
+	fmt.Print(experiment.FormatChannelUtilTable(ms, configs, nvm.CellTypes))
+	fmt.Println()
+	fmt.Print(experiment.FormatPackageUtilTable(ms, configs, nvm.CellTypes))
+}

@@ -1,0 +1,121 @@
+// Command nvmsim drives the NVM device model directly with synthetic
+// workloads — the standalone equivalent of the paper's NANDFlashSim runs.
+// It reports bandwidth, the six-state execution breakdown, PAL parallelism,
+// and channel/package utilization for one device configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"oocnvm/internal/interconnect"
+	"oocnvm/internal/nvm"
+	"oocnvm/internal/sim"
+	"oocnvm/internal/ssd"
+	"oocnvm/internal/trace"
+)
+
+func main() {
+	var (
+		cellName = flag.String("cell", "SLC", "NVM type: SLC, MLC, TLC, PCM")
+		busName  = flag.String("bus", "sdr", "channel bus: sdr (ONFi3 400MHz) or ddr (future 800MHz)")
+		gen      = flag.Int("pcie", 2, "PCIe generation: 2 or 3")
+		lanes    = flag.Int("lanes", 8, "PCIe lanes")
+		bridged  = flag.Bool("bridged", true, "SATA-bridged controller architecture")
+		pattern  = flag.String("pattern", "seq", "access pattern: seq or rand")
+		kind     = flag.String("op", "read", "operation: read or write")
+		reqKiB   = flag.Int64("req", 8192, "request size in KiB")
+		count    = flag.Int("n", 64, "number of requests")
+		window   = flag.Int64("window", 0, "in-flight byte window in KiB (0 = queue-depth bound)")
+		qd       = flag.Int("qd", 32, "queue depth")
+		seed     = flag.Uint64("seed", 1, "seed")
+	)
+	flag.Parse()
+	if err := run(*cellName, *busName, *gen, *lanes, *bridged, *pattern, *kind, *reqKiB, *count, *window, *qd, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "nvmsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cellName, busName string, gen, lanes int, bridged bool, pattern, kind string, reqKiB int64, count int, windowKiB int64, qd int, seed uint64) error {
+	var cell nvm.CellType
+	switch cellName {
+	case "SLC":
+		cell = nvm.SLC
+	case "MLC":
+		cell = nvm.MLC
+	case "TLC":
+		cell = nvm.TLC
+	case "PCM":
+		cell = nvm.PCM
+	default:
+		return fmt.Errorf("unknown cell type %q", cellName)
+	}
+	var bus nvm.BusParams
+	switch busName {
+	case "sdr":
+		bus = nvm.ONFi3SDR()
+	case "ddr":
+		bus = nvm.FutureDDR()
+	default:
+		return fmt.Errorf("unknown bus %q", busName)
+	}
+	pg := interconnect.PCIeGen2
+	if gen == 3 {
+		pg = interconnect.PCIeGen3
+	}
+	pcie := interconnect.PCIeConfig{Gen: pg, Lanes: lanes, Bridged: bridged}
+
+	geo := nvm.PaperGeometry()
+	cp := nvm.Params(cell)
+	drive, err := ssd.New(ssd.Config{
+		Geometry:    geo,
+		Cell:        cp,
+		Bus:         bus,
+		Link:        interconnect.NewPCIeLine(pcie),
+		Translator:  ssd.Direct{Geo: geo, Cell: cp},
+		QueueDepth:  qd,
+		WindowBytes: windowKiB << 10,
+		Seed:        seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	opKind := trace.Read
+	if kind == "write" {
+		opKind = trace.Write
+	}
+	rng := sim.NewRNG(seed)
+	capacity := geo.Capacity(cp)
+	req := reqKiB << 10
+	var ops []trace.BlockOp
+	off := int64(0)
+	for i := 0; i < count; i++ {
+		if pattern == "rand" {
+			off = rng.Int63n(capacity/req) * req
+		}
+		ops = append(ops, trace.BlockOp{Kind: opKind, Offset: off % capacity, Size: req})
+		if pattern == "seq" {
+			off += req
+		}
+	}
+	res := drive.Replay(ops)
+
+	fmt.Printf("device: %s, %s, %s, %d ch x %d pkg x %d dies, %d planes/die\n",
+		cell, bus.Name, pcie, geo.Channels, geo.Packages(), geo.Dies(), cp.Planes)
+	fmt.Printf("workload: %d x %d KiB %s %s\n", count, reqKiB, pattern, kind)
+	fmt.Printf("elapsed:   %v\n", res.Elapsed)
+	fmt.Printf("bandwidth: %.1f MB/s\n", res.MBps())
+	fmt.Printf("channel utilization: %.1f%%   package utilization: %.1f%%   bus occupancy: %.1f%%\n",
+		100*res.Stats.ChannelUtilization, 100*res.Stats.PackageUtilization, 100*res.Stats.BusOccupancy)
+	p := res.Stats.Breakdown.Percentages()
+	for i, label := range nvm.BreakdownLabels {
+		fmt.Printf("  %-22s %5.1f%%\n", label, 100*p[i])
+	}
+	fr := res.Stats.PAL.Fractions()
+	fmt.Printf("parallelism: PAL1 %.1f%%  PAL2 %.1f%%  PAL3 %.1f%%  PAL4 %.1f%%\n",
+		100*fr[0], 100*fr[1], 100*fr[2], 100*fr[3])
+	return nil
+}

@@ -1,0 +1,265 @@
+// Command oocbench regenerates the paper's tables and figures from the
+// simulated stack. With no flags it runs the full evaluation matrix and
+// prints everything in paper order.
+//
+// Usage:
+//
+//	oocbench [-fig 1|6|7a|7b|8a|8b|9a|9b|10a|10b|10c|10d] [-table 1|2]
+//	         [-summary] [-topology] [-matrix MiB] [-panel MiB] [-apps N]
+//	         [-seed N] [-qd N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"oocnvm/internal/cache"
+	"oocnvm/internal/cluster"
+	"oocnvm/internal/energy"
+	"oocnvm/internal/experiment"
+	"oocnvm/internal/nvm"
+	"oocnvm/internal/ooc"
+	"oocnvm/internal/sim"
+	"oocnvm/internal/trace"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "", "regenerate one figure (1,6,7a,7b,8a,8b,9a,9b,10a,10b,10c,10d)")
+		table    = flag.String("table", "", "regenerate one table (1,2)")
+		summary  = flag.Bool("summary", false, "print only the headline ratios")
+		topology = flag.Bool("topology", false, "print the cluster topologies and preload estimate")
+		distrib  = flag.Bool("distributed", false, "print the 40-node cluster-scale comparison")
+		energy   = flag.Bool("energy", false, "print the energy/cost comparison behind the paper's motivation")
+		cacheF   = flag.Bool("cache", false, "print the host-side flash-cache study the paper argues against")
+		chart    = flag.Bool("chart", false, "render figures 7a/8a as ASCII bar charts")
+		matrix   = flag.Int("matrix", 512, "Hamiltonian footprint in MiB")
+		panel    = flag.Int("panel", 8, "row-panel read size in MiB")
+		apps     = flag.Int("apps", 4, "operator applications (2 per LOBPCG iteration)")
+		seed     = flag.Uint64("seed", 42, "simulation seed")
+		qd       = flag.Int("qd", 32, "host queue depth")
+	)
+	flag.Parse()
+
+	opt := experiment.DefaultOptions()
+	opt.Workload = ooc.Workload{
+		MatrixBytes:  int64(*matrix) << 20,
+		PanelBytes:   int64(*panel) << 20,
+		Applications: *apps,
+	}
+	opt.Seed = *seed
+	opt.QueueDepth = *qd
+
+	if err := run(opt, *fig, *table, *summary, *topology, *distrib, *energy, *cacheF, *chart); err != nil {
+		fmt.Fprintln(os.Stderr, "oocbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(opt experiment.Options, fig, table string, summary, topology, distrib, energyFlag, cacheFlag, chart bool) error {
+	cells := nvm.CellTypes
+
+	switch {
+	case table == "1":
+		fmt.Print(experiment.FormatTable1())
+		return nil
+	case table == "2":
+		fmt.Print(experiment.FormatTable2())
+		return nil
+	case fig == "1":
+		fmt.Print(experiment.FormatFig1())
+		return nil
+	case fig == "6":
+		s, err := experiment.FormatFig6(opt, 64)
+		if err != nil {
+			return err
+		}
+		fmt.Print(s)
+		return nil
+	case topology:
+		return printTopology(opt)
+	case distrib:
+		return printDistributed()
+	case energyFlag:
+		return printEnergy()
+	case cacheFlag:
+		return printCacheStudy(opt)
+	}
+
+	// Everything else needs the measurement matrix.
+	var configs []experiment.Config
+	switch fig {
+	case "7a", "7b":
+		configs = experiment.FileSystemConfigs()
+	case "8a", "8b":
+		configs = experiment.DeviceConfigs()
+	default:
+		configs = experiment.Table2()
+	}
+	ms, err := experiment.Matrix(configs, cells, opt)
+	if err != nil {
+		return err
+	}
+
+	switch fig {
+	case "7a":
+		if chart {
+			fmt.Print(experiment.BandwidthChart("Figure 7a", ms, configs, nvm.SLC))
+			fmt.Println()
+			fmt.Print(experiment.BandwidthChart("Figure 7a", ms, configs, nvm.TLC))
+			break
+		}
+		fmt.Print(experiment.FormatBandwidthTable("Figure 7a", ms, configs, cells))
+	case "7b":
+		fmt.Print(experiment.FormatRemainingTable("Figure 7b", ms, configs, cells))
+	case "8a":
+		if chart {
+			fmt.Print(experiment.BandwidthChart("Figure 8a", ms, configs, nvm.PCM))
+			break
+		}
+		fmt.Print(experiment.FormatBandwidthTable("Figure 8a", ms, configs, cells))
+	case "8b":
+		fmt.Print(experiment.FormatRemainingTable("Figure 8b", ms, configs, cells))
+	case "9a":
+		fmt.Print(experiment.FormatChannelUtilTable(ms, configs, cells))
+	case "9b":
+		fmt.Print(experiment.FormatPackageUtilTable(ms, configs, cells))
+	case "10a":
+		fmt.Print(experiment.FormatBreakdownTable(nvm.TLC, ms, configs))
+	case "10b":
+		fmt.Print(experiment.FormatPALTable(nvm.TLC, ms, configs))
+	case "10c":
+		fmt.Print(experiment.FormatBreakdownTable(nvm.PCM, ms, configs))
+	case "10d":
+		fmt.Print(experiment.FormatPALTable(nvm.PCM, ms, configs))
+	case "":
+		if summary {
+			s, err := experiment.Summarize(ms, cells)
+			if err != nil {
+				return err
+			}
+			fmt.Print(s.Format(cells))
+			return nil
+		}
+		// Full report in paper order.
+		fmt.Print(experiment.FormatFig1())
+		fmt.Println()
+		fmt.Print(experiment.FormatTable1())
+		fmt.Println()
+		fmt.Print(experiment.FormatTable2())
+		fmt.Println()
+		if s, err := experiment.FormatFig6(opt, 32); err == nil {
+			fmt.Print(s)
+			fmt.Println()
+		}
+		fsCfg := experiment.FileSystemConfigs()
+		devCfg := experiment.DeviceConfigs()
+		fmt.Print(experiment.FormatBandwidthTable("Figure 7a", ms, fsCfg, cells))
+		fmt.Println()
+		fmt.Print(experiment.FormatRemainingTable("Figure 7b", ms, fsCfg, cells))
+		fmt.Println()
+		fmt.Print(experiment.FormatBandwidthTable("Figure 8a", ms, devCfg, cells))
+		fmt.Println()
+		fmt.Print(experiment.FormatRemainingTable("Figure 8b", ms, devCfg, cells))
+		fmt.Println()
+		fmt.Print(experiment.FormatChannelUtilTable(ms, configs, cells))
+		fmt.Println()
+		fmt.Print(experiment.FormatPackageUtilTable(ms, configs, cells))
+		fmt.Println()
+		fmt.Print(experiment.FormatBreakdownTable(nvm.TLC, ms, configs))
+		fmt.Println()
+		fmt.Print(experiment.FormatPALTable(nvm.TLC, ms, configs))
+		fmt.Println()
+		fmt.Print(experiment.FormatBreakdownTable(nvm.PCM, ms, configs))
+		fmt.Println()
+		fmt.Print(experiment.FormatPALTable(nvm.PCM, ms, configs))
+		fmt.Println()
+		s, err := experiment.Summarize(ms, cells)
+		if err != nil {
+			return err
+		}
+		fmt.Print(s.Format(cells))
+	default:
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	return nil
+}
+
+func printDistributed() error {
+	job := cluster.DefaultDistributedJob()
+	ion, cnl, err := cluster.SimulateDistributed(cluster.Carver(), job)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cluster-scale OoC solve: %d nodes, %d GiB Hamiltonian, %d applications\n",
+		job.Nodes, job.MatrixBytes>>30, job.Applications)
+	for _, r := range []cluster.DistributedResult{ion, cnl} {
+		fmt.Printf("  %-10s per-application: I/O %v + comm %v = %v  (node read %.2f GB/s)\n",
+			r.Placement, r.IOTime, r.CommTime, r.PerApp, r.NodeReadBW/1e9)
+	}
+	fmt.Printf("  migrating the SSDs to the compute nodes: %.1fx faster end to end\n",
+		cluster.Speedup(ion, cnl))
+	return nil
+}
+
+func printEnergy() error {
+	// A 256 GiB per-node dataset share over a one-hour solve at 70% activity.
+	c, err := energy.Compare(256<<30, 4<<30, 3600*sim.Second, 0.7)
+	if err != nil {
+		return err
+	}
+	fmt.Println("provisioning a 256 GiB per-node out-of-core dataset (per node):")
+	for _, a := range []energy.Approach{c.InMemory, c.NVM} {
+		fmt.Printf("  %-20s DRAM %3d GiB, SSD %3d GiB, IB ports %d: $%.0f capital, %.0f kJ per hour-long solve\n",
+			a.Name, a.DRAMBytes>>30, a.SSDBytes>>30, a.NetworkPorts,
+			a.CapitalCost(), a.RunEnergy(3600*sim.Second, 0.7)/1000)
+	}
+	fmt.Printf("  distributed DRAM costs %.1fx the capital and %.1fx the energy of compute-local NVM\n",
+		c.CapitalRatio, c.EnergyRatio)
+	return nil
+}
+
+func printCacheStudy(opt experiment.Options) error {
+	posix, err := opt.Workload.PosixTrace()
+	if err != nil {
+		return err
+	}
+	ops := make([]trace.BlockOp, 0, len(posix))
+	for _, p := range posix {
+		ops = append(ops, trace.BlockOp{Kind: p.Kind, Offset: p.Offset, Size: p.Size})
+	}
+	const fastBW, slowBW = 3.06e9, 1.05e9 // CNL-UFS vs ION-GPFS envelopes
+	fmt.Printf("host-side flash cache on the OoC trace (%d MiB working set, LRU, 64 KiB blocks):\n",
+		opt.Workload.MatrixBytes>>20)
+	for _, frac := range []int64{2, 1} {
+		capacity := opt.Workload.MatrixBytes / frac
+		st, err := cache.RunStudy(ops, capacity, 64<<10, opt.Workload.MatrixBytes, fastBW, slowBW)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  cache = dataset/%d: hit rate %5.1f%%, effective %7.0f MB/s, heat-up %v\n",
+			frac, 100*st.HitRate, st.EffectiveBW/1e6, st.HeatUp)
+	}
+	fmt.Printf("  application-managed UFS (no cache):              %7.0f MB/s, no heat-up\n", fastBW/1e6)
+	fmt.Println("  (the paper's §1 argument: scan-everything OoC traffic defeats LRU caching)")
+	return nil
+}
+
+func printTopology(opt experiment.Options) error {
+	for _, t := range []cluster.Topology{cluster.Carver(), cluster.ComputeLocal()} {
+		fmt.Printf("%s: %d CNs (%d cores), %d OoC CNs, %d IONs, %d SSDs, placement %s, network %s\n",
+			t.Name, t.ComputeNodes, t.ComputeNodes*t.CoresPerCN, t.OoCComputeNodes,
+			t.IONs, t.SSDs(), t.Placement, t.Network.Name)
+	}
+	res, err := cluster.Preload(cluster.ComputeLocal(), cluster.PreloadPlan{
+		DatasetBytes:  opt.Workload.MatrixBytes,
+		OverlapWindow: 30 * sim.Second,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("preload of %d MiB dataset: %v (disk streaming %.0f MB/s, hidden behind prior job: %v)\n",
+		opt.Workload.MatrixBytes>>20, res.Duration, res.DiskBW/1e6, res.Hidden)
+	return nil
+}

@@ -1,0 +1,126 @@
+// Command replay drives a captured block trace (as written by tracegen)
+// through a chosen device configuration — the NANDFlashSim workflow of §4.2:
+// "since these traces are at the device-level, they may be directly fed to
+// the simulator."
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"oocnvm/internal/experiment"
+	"oocnvm/internal/ftl"
+	"oocnvm/internal/nvm"
+	"oocnvm/internal/ssd"
+	"oocnvm/internal/trace"
+)
+
+func main() {
+	var (
+		file     = flag.String("trace", "", "block trace file (binary or JSON)")
+		asJSON   = flag.Bool("json", false, "trace file is JSON")
+		cfgName  = flag.String("config", "CNL-UFS", "Table 2 configuration to replay on")
+		cellName = flag.String("cell", "SLC", "NVM type: SLC, MLC, TLC, PCM")
+		qd       = flag.Int("qd", 32, "queue depth")
+		window   = flag.Int64("window", 0, "in-flight byte window in KiB (0 = unlimited)")
+		paqDepth = flag.Int("paq", 0, "physically-addressed-queueing window (0 = FIFO)")
+		cache    = flag.Bool("cachemode", false, "enable dual-register cache operation")
+		seed     = flag.Uint64("seed", 42, "seed")
+	)
+	flag.Parse()
+	if err := run(*file, *asJSON, *cfgName, *cellName, *qd, *window, *paqDepth, *cache, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "replay:", err)
+		os.Exit(1)
+	}
+}
+
+func run(file string, asJSON bool, cfgName, cellName string, qd int, windowKiB int64, paqDepth int, cache bool, seed uint64) error {
+	if file == "" {
+		return fmt.Errorf("-trace is required (capture one with tracegen)")
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var ops []trace.BlockOp
+	if asJSON {
+		ops, err = trace.DecodeBlockJSON(f)
+	} else {
+		ops, err = trace.ReadBlockTrace(f)
+	}
+	if err != nil {
+		return err
+	}
+
+	var cell nvm.CellType
+	switch cellName {
+	case "SLC":
+		cell = nvm.SLC
+	case "MLC":
+		cell = nvm.MLC
+	case "TLC":
+		cell = nvm.TLC
+	case "PCM":
+		cell = nvm.PCM
+	default:
+		return fmt.Errorf("unknown cell type %q", cellName)
+	}
+	cfg, err := experiment.FindConfig(cfgName)
+	if err != nil {
+		return err
+	}
+
+	geo := nvm.PaperGeometry()
+	cp := nvm.Params(cell)
+	var translator ssd.Translator
+	if cfg.Kind == experiment.FSUFS {
+		translator = ssd.Direct{Geo: geo, Cell: cp}
+	} else {
+		ft, err := ftl.New(geo, cp, ftl.Config{})
+		if err != nil {
+			return err
+		}
+		translator = ft
+	}
+	link := cfg.BuildLink()
+	drive, err := ssd.New(ssd.Config{
+		Geometry:    geo,
+		Cell:        cp,
+		Bus:         cfg.Bus,
+		Link:        link,
+		Translator:  translator,
+		QueueDepth:  qd,
+		WindowBytes: windowKiB << 10,
+		CacheMode:   cache,
+		Seed:        seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	st := trace.Characterize(ops)
+	fmt.Printf("trace: %d ops, %d MiB (%d MiB data), mean request %.1f KiB, %.0f%% sequential\n",
+		st.Ops, st.Bytes>>20, st.DataBytes>>20, st.MeanSize/1024, 100*st.SequentialPct)
+
+	var res ssd.Result
+	if paqDepth > 1 {
+		res = ssd.NewPAQ(drive, paqDepth).Replay(ops)
+	} else {
+		res = drive.Replay(ops)
+	}
+	lat := drive.Dev.Latency()
+
+	fmt.Printf("config: %s on %s (%s, %s)\n", cfg.Name, cell, cfg.PCIe, cfg.Bus.Name)
+	fmt.Printf("elapsed:   %v\n", res.Elapsed)
+	fmt.Printf("bandwidth: %.1f MB/s\n", res.MBps())
+	fmt.Printf("latency:   p50 %v  p95 %v  p99 %v  max %v\n", lat.P50, lat.P95, lat.P99, lat.Max)
+	fmt.Printf("channel util %.1f%%  package util %.1f%%  bus occupancy %.1f%%\n",
+		100*res.Stats.ChannelUtilization, 100*res.Stats.PackageUtilization, 100*res.Stats.BusOccupancy)
+	p := res.Stats.Breakdown.Percentages()
+	for i, label := range nvm.BreakdownLabels {
+		fmt.Printf("  %-22s %5.1f%%\n", label, 100*p[i])
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+// Package oocnvm is a from-scratch reproduction of "Exploring the Future of
+// Out-Of-Core Computing with Compute-Local Non-Volatile Memory" (SC '13):
+// a cycle-approximate NVM device simulator (SLC/MLC/TLC NAND and PCM dies,
+// planes, packages, channel buses), the host I/O stacks of the paper's
+// evaluation (GPFS over InfiniBand, eight local file systems over an FTL,
+// and the Unified File System over raw NVM), the PCIe/SATA/network
+// interconnect models, the out-of-core LOBPCG eigensolver workload with its
+// DOoC/DataCutter middleware, and an evaluation harness that regenerates
+// every table and figure of the paper.
+//
+// See README.md for the tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-versus-measured results. The benchmarks in
+// bench_test.go regenerate each experiment (go test -bench=.).
+package oocnvm

@@ -1,0 +1,69 @@
+// Devicedesign: the paper's §3.3/§4.4 hardware exploration — walk the device
+// ladder from the bridged PCIe 2.0 x8 baseline to the native PCIe 3.0 x16
+// controller with the DDR NVM bus, then ablate the individual design choices
+// (encoding, lanes, bus clock, multi-plane support) to see which ones matter.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"oocnvm/internal/experiment"
+	"oocnvm/internal/interconnect"
+	"oocnvm/internal/nvm"
+	"oocnvm/internal/ooc"
+)
+
+func main() {
+	opt := experiment.DefaultOptions()
+	opt.Workload = ooc.Workload{MatrixBytes: 128 << 20, PanelBytes: 8 << 20, Applications: 2}
+	opt.MeasureRemaining = true
+
+	// The paper's ladder.
+	configs := experiment.DeviceConfigs()
+	ms, err := experiment.Matrix(configs, nvm.CellTypes, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiment.FormatBandwidthTable("Device ladder (Figure 8a)", ms, configs, nvm.CellTypes))
+	fmt.Println()
+	fmt.Print(experiment.FormatRemainingTable("Left on the table (Figure 8b)", ms, configs, nvm.CellTypes))
+	fmt.Println()
+
+	// Ablation: isolate each hardware lever on the PCM device.
+	fmt.Println("Ablation on PCM, UFS software stack:")
+	base := experiment.CNLUFS()
+	steps := []struct {
+		label string
+		mut   func(experiment.Config) experiment.Config
+	}{
+		{"baseline (bridged gen2 x8, SDR bus)", func(c experiment.Config) experiment.Config { return c }},
+		{"+ drop SATA bridge only", func(c experiment.Config) experiment.Config {
+			c.PCIe.Bridged = false
+			return c
+		}},
+		{"+ PCIe gen3 encoding (keep 8 lanes)", func(c experiment.Config) experiment.Config {
+			c.PCIe = interconnect.PCIeConfig{Gen: interconnect.PCIeGen3, Lanes: 8}
+			return c
+		}},
+		{"+ DDR NVM bus", func(c experiment.Config) experiment.Config {
+			c.PCIe = interconnect.PCIeConfig{Gen: interconnect.PCIeGen3, Lanes: 8}
+			c.Bus = nvm.FutureDDR()
+			return c
+		}},
+		{"+ 16 lanes (full CNL-NATIVE-16)", func(c experiment.Config) experiment.Config {
+			c.PCIe = interconnect.PCIeConfig{Gen: interconnect.PCIeGen3, Lanes: 16}
+			c.Bus = nvm.FutureDDR()
+			return c
+		}},
+	}
+	for _, s := range steps {
+		cfg := s.mut(base)
+		cfg.Name = "ABLATION"
+		m, err := experiment.Run(cfg, nvm.PCM, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-38s %8.0f MB/s\n", s.label, m.AchievedMBps())
+	}
+}

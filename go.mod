@@ -1,0 +1,3 @@
+module oocnvm
+
+go 1.22

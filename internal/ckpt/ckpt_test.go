@@ -1,0 +1,277 @@
+package ckpt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"oocnvm/internal/core"
+	"oocnvm/internal/linalg"
+	"oocnvm/internal/ooc"
+	"oocnvm/internal/sim"
+)
+
+func sampleState(seed uint64, n, k int, withP bool) State {
+	rng := sim.NewRNG(seed)
+	s := State{Iteration: int(seed % 1000)}
+	s.Values = make([]float64, k)
+	for i := range s.Values {
+		s.Values[i] = rng.Float64() * 10
+	}
+	s.X = linalg.NewMatrix(n, k)
+	for i := range s.X.Data {
+		s.X.Data[i] = rng.Float64() - 0.5
+	}
+	if withP {
+		s.P = linalg.NewMatrix(n, k)
+		for i := range s.P.Data {
+			s.P.Data[i] = rng.Float64() - 0.5
+		}
+	}
+	return s
+}
+
+func statesEqual(a, b State) bool {
+	if a.Iteration != b.Iteration || len(a.Values) != len(b.Values) {
+		return false
+	}
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			return false
+		}
+	}
+	eq := func(x, y *linalg.Matrix) bool {
+		if (x == nil) != (y == nil) {
+			return false
+		}
+		if x == nil {
+			return true
+		}
+		if x.Rows != y.Rows || x.Cols != y.Cols {
+			return false
+		}
+		for i := range x.Data {
+			if x.Data[i] != y.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return eq(a.X, b.X) && eq(a.P, b.P)
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, withP := range []bool{true, false} {
+		s := sampleState(7, 20, 4, withP)
+		raw, err := Encode(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Decode(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !statesEqual(s, back) {
+			t.Fatalf("round trip diverged (withP=%v)", withP)
+		}
+	}
+}
+
+func TestEncodeRequiresX(t *testing.T) {
+	if _, err := Encode(State{}); err == nil {
+		t.Fatal("state without X accepted")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	raw, _ := Encode(sampleState(9, 10, 2, true))
+	for _, at := range []int{0, 10, len(raw) / 2, len(raw) - 9} {
+		bad := append([]byte(nil), raw...)
+		bad[at] ^= 0x55
+		if _, err := Decode(bad); err == nil {
+			t.Fatalf("corruption at byte %d accepted", at)
+		}
+	}
+	if _, err := Decode(raw[:8]); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}
+
+// Property: arbitrary states survive the codec.
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(seed uint16, n8, k8 uint8, withP bool) bool {
+		n := int(n8%30) + 3
+		k := int(k8%5) + 1
+		s := sampleState(uint64(seed), n, k, withP)
+		raw, err := Encode(s)
+		if err != nil {
+			return false
+		}
+		back, err := Decode(raw)
+		if err != nil {
+			return false
+		}
+		return statesEqual(s, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func newNode(t *testing.T) *core.Node {
+	t.Helper()
+	n, err := core.NewNode(core.DefaultNodeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestWriterSaveLoad(t *testing.T) {
+	node := newNode(t)
+	w, err := NewWriter(node, "ckpt", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Load(); err == nil {
+		t.Fatal("load before any save succeeded")
+	}
+	s := sampleState(3, 40, 4, true)
+	if err := w.Save(s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := w.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !statesEqual(s, back) {
+		t.Fatal("restored state differs")
+	}
+	// The save really went through the simulated device.
+	if node.Stats().BytesWritten == 0 {
+		t.Fatal("checkpoint never reached the NVM")
+	}
+}
+
+func TestWriterAlternatesSlots(t *testing.T) {
+	node := newNode(t)
+	w, _ := NewWriter(node, "ckpt", 1<<20)
+	s1 := sampleState(1, 10, 2, false)
+	s2 := sampleState(2, 10, 2, false)
+	w.Save(s1)
+	w.Save(s2)
+	back, err := w.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Iteration != s2.Iteration {
+		t.Fatal("load did not return the newest snapshot")
+	}
+	if w.Saves() != 2 {
+		t.Fatalf("saves = %d", w.Saves())
+	}
+}
+
+func TestWriterFallsBackOnCorruptNewest(t *testing.T) {
+	node := newNode(t)
+	w, _ := NewWriter(node, "ckpt", 1<<20)
+	s1 := sampleState(11, 12, 2, true)
+	s2 := sampleState(12, 12, 2, true)
+	w.Save(s1)
+	w.Save(s2)
+	w.Corrupt(0) // newest slot damaged mid-write
+	back, err := w.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Iteration != s1.Iteration {
+		t.Fatalf("fallback returned iteration %d, want the previous snapshot %d",
+			back.Iteration, s1.Iteration)
+	}
+	// Both slots corrupt: load fails loudly.
+	w.Corrupt(1)
+	if _, err := w.Load(); err == nil {
+		t.Fatal("double corruption went unnoticed")
+	}
+}
+
+func TestWriterRejectsOversizedSnapshot(t *testing.T) {
+	node := newNode(t)
+	w, _ := NewWriter(node, "ckpt", 512)
+	if err := w.Save(sampleState(5, 100, 4, true)); err == nil {
+		t.Fatal("oversized snapshot accepted")
+	}
+}
+
+// TestCheckpointRestartResumesSolve is the end-to-end story: a solve is
+// interrupted, restored from NVM, and finishes in far fewer iterations than
+// a cold start — landing on the same eigenvalues.
+func TestCheckpointRestartResumesSolve(t *testing.T) {
+	h, err := ooc.Hamiltonian(ooc.DefaultHamiltonian(150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := linalg.DenseOperator{A: h}
+	const k = 3
+
+	node := newNode(t)
+	w, err := NewWriter(node, "solver", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: run 25 iterations, checkpointing every 5, then "crash".
+	const crashAt = 25
+	_, err = linalg.LOBPCG(op, linalg.LOBPCGOptions{
+		K: k, MaxIter: crashAt, Tol: 1e-14, Seed: 4,
+		OnIteration: func(it int, values []float64, x, p *linalg.Matrix) {
+			if it%5 != 4 {
+				return
+			}
+			st := State{Iteration: it, Values: append([]float64(nil), values...), X: x.Clone()}
+			if p != nil {
+				st.P = p.Clone()
+			}
+			if err := w.Save(st); err != nil {
+				t.Fatal(err)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: restore and finish.
+	st, err := w.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iteration < 19 {
+		t.Fatalf("restored iteration %d, want a late snapshot", st.Iteration)
+	}
+	resumed, err := linalg.LOBPCG(op, linalg.LOBPCGOptions{
+		K: k, MaxIter: 400, Tol: 1e-9, X0: st.X, P0: st.P,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.Converged {
+		t.Fatal("resumed solve did not converge")
+	}
+
+	// Cold-start reference for iteration count and values.
+	cold, err := linalg.LOBPCG(op, linalg.LOBPCGOptions{K: k, MaxIter: 400, Tol: 1e-9, Seed: 4})
+	if err != nil || !cold.Converged {
+		t.Fatalf("cold solve: %v", err)
+	}
+	if resumed.Iterations >= cold.Iterations {
+		t.Fatalf("resume took %d iterations vs cold %d; the checkpoint bought nothing",
+			resumed.Iterations, cold.Iterations)
+	}
+	for j := 0; j < k; j++ {
+		if math.Abs(resumed.Values[j]-cold.Values[j]) > 1e-7 {
+			t.Fatalf("eigenvalue %d differs after restart: %v vs %v",
+				j, resumed.Values[j], cold.Values[j])
+		}
+	}
+}

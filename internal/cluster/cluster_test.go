@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"testing"
+
+	"oocnvm/internal/sim"
+)
+
+func TestCarverTopology(t *testing.T) {
+	c := Carver()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Figure 3's numbers.
+	if c.ComputeNodes != 1202 {
+		t.Errorf("compute nodes = %d, want 1202", c.ComputeNodes)
+	}
+	if c.ComputeNodes*c.CoresPerCN != 9616 && c.ComputeNodes*c.CoresPerCN != 9984 {
+		// 1202 x 8 = 9616; the paper quotes 9984 cores (mixed node types).
+		t.Logf("core count %d (paper: 9984 over mixed node types)", c.ComputeNodes*c.CoresPerCN)
+	}
+	if c.OoCComputeNodes != 40 {
+		t.Errorf("OoC nodes = %d, want 40", c.OoCComputeNodes)
+	}
+	if c.IONs != 10 || c.SSDs() != 20 {
+		t.Errorf("IONs = %d, SSDs = %d, want 10 and 20", c.IONs, c.SSDs())
+	}
+	if c.Placement != IONLocal {
+		t.Error("Carver is ION-local")
+	}
+}
+
+func TestComputeLocalMigration(t *testing.T) {
+	c := ComputeLocal()
+	if c.Placement != CNLocal {
+		t.Fatal("migration did not move the SSDs")
+	}
+	if c.SSDs() != Carver().SSDs() {
+		t.Fatal("migration changed the SSD population")
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	if IONLocal.String() != "ION-local" || CNLocal.String() != "CN-local" {
+		t.Fatal("placement names wrong")
+	}
+}
+
+func TestValidateRejectsBadTopology(t *testing.T) {
+	c := Carver()
+	c.ComputeNodes = 0
+	if c.Validate() == nil {
+		t.Fatal("zero compute nodes accepted")
+	}
+	c = Carver()
+	c.OoCComputeNodes = c.ComputeNodes + 1
+	if c.Validate() == nil {
+		t.Fatal("more OoC nodes than compute nodes accepted")
+	}
+}
+
+func TestPreloadValidation(t *testing.T) {
+	if _, err := Preload(ComputeLocal(), PreloadPlan{DatasetBytes: 0}); err == nil {
+		t.Fatal("zero dataset accepted")
+	}
+	bad := ComputeLocal()
+	bad.IONs = 0
+	if _, err := Preload(bad, PreloadPlan{DatasetBytes: 1}); err == nil {
+		t.Fatal("invalid topology accepted")
+	}
+}
+
+func TestPreloadDuration(t *testing.T) {
+	res, err := Preload(ComputeLocal(), PreloadPlan{DatasetBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration <= 0 {
+		t.Fatal("no duration")
+	}
+	// The staging rate is bounded by the slowest stage; with 12 spindles the
+	// RAID streams over 1 GB/s, FC 8G ~0.72 GB/s, IB share ~1.1 GB/s: the
+	// pipeline should land roughly at the FC envelope.
+	rate := sim.Rate(1<<30, res.Duration)
+	if rate < 0.3e9 || rate > 1.3e9 {
+		t.Fatalf("preload rate %.2f GB/s outside plausible envelope", rate/1e9)
+	}
+}
+
+func TestPreloadOverlapHidesCost(t *testing.T) {
+	plan := PreloadPlan{DatasetBytes: 1 << 30, OverlapWindow: 60 * sim.Second}
+	res, err := Preload(ComputeLocal(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Hidden || res.CriticalNs != 0 {
+		t.Fatalf("one GiB against a minute of prior work should hide: %+v", res)
+	}
+	plan.OverlapWindow = res.Duration / 2
+	res2, _ := Preload(ComputeLocal(), plan)
+	if res2.Hidden || res2.CriticalNs == 0 {
+		t.Fatal("half-window overlap cannot hide the preload")
+	}
+}
+
+func TestPreloadScalesWithDataset(t *testing.T) {
+	small, _ := Preload(ComputeLocal(), PreloadPlan{DatasetBytes: 256 << 20})
+	large, _ := Preload(ComputeLocal(), PreloadPlan{DatasetBytes: 1 << 30})
+	if large.Duration <= small.Duration {
+		t.Fatal("larger dataset did not take longer")
+	}
+}

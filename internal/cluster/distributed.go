@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"fmt"
+
+	"oocnvm/internal/sim"
+)
+
+// DistributedJob models the out-of-core eigensolver at cluster scale
+// (Figures 2a/2b): the OoC compute nodes each own an equal share of H's row
+// panels, read that share once per operator application, and exchange their
+// slice of the iterate block with everyone else (the communication the
+// paper wants the network freed up for).
+type DistributedJob struct {
+	// Nodes is the OoC compute-node count (Carver dedicates 40).
+	Nodes int
+	// MatrixBytes is H's total footprint across the cluster.
+	MatrixBytes int64
+	// BlockBytes is the iterate block Ψ's footprint (tall-skinny: rows × 10-20
+	// columns × 8 bytes); each application ends with an allgather of it.
+	BlockBytes int64
+	// Applications is the operator-application count.
+	Applications int
+	// LocalSSDBandwidth is a compute-local SSD's sustained rate (take it from
+	// a single-SSD simulation, e.g. the CNL-UFS Figure 7a value).
+	LocalSSDBandwidth float64
+	// IONSSDBandwidth is one ION-resident SSD's deliverable rate behind the
+	// network (the ION-GPFS Figure 7a value).
+	IONSSDBandwidth float64
+}
+
+// DefaultDistributedJob sizes the job like the paper's evaluation: 40 nodes
+// sharing a large H with a 16-column iterate block, with the single-SSD
+// rates calibrated in EXPERIMENTS.md.
+func DefaultDistributedJob() DistributedJob {
+	const dim = 4 << 20 // rows; BlockBytes = dim * 16 cols * 8 B
+	return DistributedJob{
+		Nodes:             40,
+		MatrixBytes:       2 << 40, // 2 TiB Hamiltonian
+		BlockBytes:        dim * 16 * 8,
+		Applications:      4,
+		LocalSSDBandwidth: 3.06e9, // CNL-UFS envelope
+		IONSSDBandwidth:   1.05e9, // ION-GPFS measured
+	}
+}
+
+// Validate reports impossible jobs.
+func (j DistributedJob) Validate() error {
+	if j.Nodes <= 0 || j.MatrixBytes <= 0 || j.BlockBytes < 0 || j.Applications <= 0 {
+		return fmt.Errorf("cluster: distributed job fields must be positive: %+v", j)
+	}
+	if j.LocalSSDBandwidth <= 0 || j.IONSSDBandwidth <= 0 {
+		return fmt.Errorf("cluster: distributed job needs SSD bandwidths")
+	}
+	return nil
+}
+
+// DistributedResult reports one placement's per-application and total times.
+type DistributedResult struct {
+	Placement  Placement
+	IOTime     sim.Time // reading the node's panel share, per application
+	CommTime   sim.Time // allgathering the iterate block, per application
+	PerApp     sim.Time // max of overlap-free serial phases
+	Total      sim.Time
+	NodeReadBW float64 // what one node's reads actually sustained
+}
+
+// SimulateDistributed evaluates the job under both placements on the given
+// topology and returns (ION-local, CN-local) results. The model captures the
+// paper's two effects:
+//
+//   - ION-local: every node's panel reads cross the shared network, each
+//     node sustaining only its share of the ION SSD pool, and the allgather
+//     contends with that I/O traffic on the same ports.
+//   - CN-local: reads are node-local at SSD speed and the network carries
+//     only the communication.
+func SimulateDistributed(t Topology, j DistributedJob) (ion, cnl DistributedResult, err error) {
+	if err := t.Validate(); err != nil {
+		return ion, cnl, err
+	}
+	if err := j.Validate(); err != nil {
+		return ion, cnl, err
+	}
+	perNodeBytes := j.MatrixBytes / int64(j.Nodes)
+	// Allgather: each node receives the (Nodes-1)/Nodes of the block it does
+	// not own (ring/recursive-doubling both move ~BlockBytes per node).
+	commBytes := j.BlockBytes * int64(j.Nodes-1) / int64(j.Nodes)
+	// Per-node port bandwidth for MPI traffic: encoding-level data rate with
+	// point-to-point transport efficiency (no GPFS/NSD overhead).
+	raw := t.Network.SignalGbps * 1e9 / 8 *
+		float64(t.Network.EncodingNum) / float64(t.Network.EncodingDen)
+	mpiBW := raw * 0.8
+
+	// --- ION-local -----------------------------------------------------------
+	{
+		// The SSD pool serves all OoC nodes: one node sustains its share.
+		nodeBW := j.IONSSDBandwidth * float64(t.SSDs()) / float64(j.Nodes)
+		if nodeBW > j.IONSSDBandwidth {
+			nodeBW = j.IONSSDBandwidth // cannot exceed one stream's ceiling
+		}
+		ioTime := sim.DurationForBytes(perNodeBytes, nodeBW)
+		// The allgather and the panel traffic share the fabric: communication
+		// sees the port minus the I/O stream occupying it.
+		commBW := mpiBW - nodeBW
+		if commBW < mpiBW*0.1 {
+			commBW = mpiBW * 0.1
+		}
+		commTime := sim.DurationForBytes(commBytes, commBW)
+		ion = DistributedResult{
+			Placement:  IONLocal,
+			IOTime:     ioTime,
+			CommTime:   commTime,
+			PerApp:     ioTime + commTime,
+			NodeReadBW: nodeBW,
+		}
+		ion.Total = ion.PerApp * sim.Time(j.Applications)
+	}
+
+	// --- CN-local --------------------------------------------------------------
+	{
+		ioTime := sim.DurationForBytes(perNodeBytes, j.LocalSSDBandwidth)
+		commTime := sim.DurationForBytes(commBytes, mpiBW)
+		cnl = DistributedResult{
+			Placement:  CNLocal,
+			IOTime:     ioTime,
+			CommTime:   commTime,
+			PerApp:     ioTime + commTime,
+			NodeReadBW: j.LocalSSDBandwidth,
+		}
+		cnl.Total = cnl.PerApp * sim.Time(j.Applications)
+	}
+	return ion, cnl, nil
+}
+
+// Speedup returns CNL total time over ION total time as a factor > 1 when
+// the migration wins.
+func Speedup(ion, cnl DistributedResult) float64 {
+	if cnl.Total <= 0 {
+		return 0
+	}
+	return float64(ion.Total) / float64(cnl.Total)
+}

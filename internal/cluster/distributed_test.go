@@ -1,0 +1,95 @@
+package cluster
+
+import "testing"
+
+func TestDistributedValidation(t *testing.T) {
+	if _, _, err := SimulateDistributed(Carver(), DistributedJob{}); err == nil {
+		t.Fatal("zero job accepted")
+	}
+	bad := Carver()
+	bad.IONs = 0
+	if _, _, err := SimulateDistributed(bad, DefaultDistributedJob()); err == nil {
+		t.Fatal("invalid topology accepted")
+	}
+}
+
+func TestDistributedCNLWins(t *testing.T) {
+	ion, cnl, err := SimulateDistributed(Carver(), DefaultDistributedJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ion.Total <= 0 || cnl.Total <= 0 {
+		t.Fatal("degenerate totals")
+	}
+	s := Speedup(ion, cnl)
+	// The default job is I/O-bound: the win should roughly track the
+	// single-SSD gap (3.06 vs ~0.5 GB/s per-node share), i.e. several-fold.
+	if s < 2 || s > 12 {
+		t.Fatalf("CNL speedup = %.2fx, outside the plausible band", s)
+	}
+}
+
+func TestDistributedIOAndCommDecomposition(t *testing.T) {
+	ion, cnl, err := SimulateDistributed(Carver(), DefaultDistributedJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CN-local reads are local: far faster per node.
+	if cnl.IOTime >= ion.IOTime {
+		t.Fatalf("CNL I/O %v not faster than ION %v", cnl.IOTime, ion.IOTime)
+	}
+	// The paper's secondary claim: moving data off the network improves the
+	// communication itself.
+	if cnl.CommTime > ion.CommTime {
+		t.Fatalf("CNL comm %v slower than ION %v; the freed network should help", cnl.CommTime, ion.CommTime)
+	}
+	if cnl.NodeReadBW <= ion.NodeReadBW {
+		t.Fatal("per-node read bandwidth ordering wrong")
+	}
+}
+
+func TestDistributedScalesWithNodes(t *testing.T) {
+	job := DefaultDistributedJob()
+	_, cnl40, err := SimulateDistributed(Carver(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.Nodes = 80
+	_, cnl80, err := SimulateDistributed(Carver(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Twice the nodes halve the per-node panel share: CNL I/O time halves.
+	ratio := float64(cnl40.IOTime) / float64(cnl80.IOTime)
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("I/O scaling 40->80 nodes = %.2f, want ~2", ratio)
+	}
+}
+
+func TestDistributedIONSaturatesPool(t *testing.T) {
+	// With more nodes than SSD streams, each ION-fed node gets only a pool
+	// share; with very few nodes a single stream's ceiling binds.
+	job := DefaultDistributedJob()
+	job.Nodes = 4 // fewer nodes than the 20 SSDs
+	ion, _, err := SimulateDistributed(Carver(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ion.NodeReadBW != job.IONSSDBandwidth {
+		t.Fatalf("with spare SSDs a node should sustain a full stream: %v", ion.NodeReadBW)
+	}
+	job.Nodes = 80
+	ion80, _, err := SimulateDistributed(Carver(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ion80.NodeReadBW >= ion.NodeReadBW {
+		t.Fatal("oversubscribed pool did not reduce per-node bandwidth")
+	}
+}
+
+func TestSpeedupDegenerate(t *testing.T) {
+	if Speedup(DistributedResult{}, DistributedResult{}) != 0 {
+		t.Fatal("zero totals must yield zero speedup")
+	}
+}

@@ -1,0 +1,115 @@
+// Package dooc implements the middleware stack the paper's application runs
+// on (§2.1): DataCutter, which "abstracts dataflows via the concept of
+// filters and streams", and DOoC, the distributed out-of-core layer on top —
+// a data storage layer of immutable named arrays with prefetching and
+// automatic memory management, plus a hierarchical data-aware scheduler that
+// is "cognizant of data-dependencies and performs task reordering to
+// maximize parallelism and performance".
+package dooc
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Buffer is one unit of data flowing through a stream: a named, sized chunk.
+// Payload carries the actual data when the pipeline computes for real; pure
+// scheduling studies leave it nil.
+type Buffer struct {
+	Name    string
+	Size    int64
+	Payload interface{}
+}
+
+// Stream connects a producing filter to a consuming filter with bounded
+// buffering (DataCutter streams are finite pipes between filter instances).
+type Stream struct {
+	name string
+	ch   chan Buffer
+}
+
+// NewStream creates a stream with the given buffering depth.
+func NewStream(name string, depth int) *Stream {
+	if depth < 0 {
+		depth = 0
+	}
+	return &Stream{name: name, ch: make(chan Buffer, depth)}
+}
+
+// Name identifies the stream.
+func (s *Stream) Name() string { return s.name }
+
+// Send places a buffer on the stream, blocking when full.
+func (s *Stream) Send(b Buffer) { s.ch <- b }
+
+// Close marks the end of the producer's data.
+func (s *Stream) Close() { close(s.ch) }
+
+// Recv takes the next buffer; ok is false after Close drains.
+func (s *Stream) Recv() (Buffer, bool) {
+	b, ok := <-s.ch
+	return b, ok
+}
+
+// Range iterates the stream until the producer closes it.
+func (s *Stream) Range(fn func(Buffer) error) error {
+	for b := range s.ch {
+		if err := fn(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Filter performs computation on flows of data between streams.
+type Filter interface {
+	Name() string
+	Run() error
+}
+
+// FilterFunc adapts a function to the Filter interface.
+type FilterFunc struct {
+	Label string
+	Fn    func() error
+}
+
+// Name returns the label.
+func (f FilterFunc) Name() string { return f.Label }
+
+// Run invokes the function.
+func (f FilterFunc) Run() error { return f.Fn() }
+
+// Pipeline runs a set of connected filters concurrently and collects the
+// first error of each filter.
+type Pipeline struct {
+	filters []Filter
+}
+
+// NewPipeline assembles filters; streams are wired by the caller when
+// constructing the filters.
+func NewPipeline(filters ...Filter) *Pipeline {
+	return &Pipeline{filters: filters}
+}
+
+// Run executes every filter in its own goroutine and waits for all of them,
+// returning an error describing every filter that failed.
+func (p *Pipeline) Run() error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(p.filters))
+	for i, f := range p.filters {
+		wg.Add(1)
+		go func(i int, f Filter) {
+			defer wg.Done()
+			if err := f.Run(); err != nil {
+				errs[i] = fmt.Errorf("dooc: filter %s: %w", f.Name(), err)
+			}
+		}(i, f)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

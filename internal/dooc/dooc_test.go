@@ -1,0 +1,432 @@
+package dooc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// --- DataCutter ------------------------------------------------------------
+
+func TestStreamDelivery(t *testing.T) {
+	s := NewStream("s", 4)
+	go func() {
+		for i := 0; i < 10; i++ {
+			s.Send(Buffer{Name: "b", Size: int64(i)})
+		}
+		s.Close()
+	}()
+	var total int64
+	if err := s.Range(func(b Buffer) error {
+		total += b.Size
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if total != 45 {
+		t.Fatalf("received %d, want 45", total)
+	}
+}
+
+func TestStreamRecvAfterClose(t *testing.T) {
+	s := NewStream("s", 1)
+	s.Send(Buffer{Size: 1})
+	s.Close()
+	if _, ok := s.Recv(); !ok {
+		t.Fatal("buffered item lost")
+	}
+	if _, ok := s.Recv(); ok {
+		t.Fatal("phantom item after close")
+	}
+	if s.Name() != "s" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestStreamRangeStopsOnError(t *testing.T) {
+	s := NewStream("s", 10)
+	for i := 0; i < 5; i++ {
+		s.Send(Buffer{Size: int64(i)})
+	}
+	s.Close()
+	wantErr := errors.New("stop")
+	n := 0
+	err := s.Range(func(Buffer) error {
+		n++
+		if n == 2 {
+			return wantErr
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) || n != 2 {
+		t.Fatalf("err=%v after %d items", err, n)
+	}
+}
+
+func TestPipelineRunsFiltersConcurrently(t *testing.T) {
+	// Producer and consumer connected by an unbuffered stream deadlock
+	// unless the pipeline really runs them concurrently.
+	s := NewStream("link", 0)
+	var sum int64
+	p := NewPipeline(
+		FilterFunc{Label: "produce", Fn: func() error {
+			for i := 1; i <= 100; i++ {
+				s.Send(Buffer{Size: int64(i)})
+			}
+			s.Close()
+			return nil
+		}},
+		FilterFunc{Label: "consume", Fn: func() error {
+			return s.Range(func(b Buffer) error {
+				sum += b.Size
+				return nil
+			})
+		}},
+	)
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 5050 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+func TestPipelinePropagatesFilterError(t *testing.T) {
+	p := NewPipeline(
+		FilterFunc{Label: "ok", Fn: func() error { return nil }},
+		FilterFunc{Label: "boom", Fn: func() error { return errors.New("kaput") }},
+	)
+	err := p.Run()
+	if err == nil || !contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		func() bool {
+			for i := 0; i+len(sub) <= len(s); i++ {
+				if s[i:i+len(sub)] == sub {
+					return true
+				}
+			}
+			return false
+		}())
+}
+
+// --- DataPool ----------------------------------------------------------------
+
+func newPool(t *testing.T, budget int64, loads *int64) *DataPool {
+	t.Helper()
+	p, err := NewDataPool(budget, func(name string) ([]byte, error) {
+		if loads != nil {
+			atomic.AddInt64(loads, 1)
+		}
+		if name == "missing" {
+			return nil, errors.New("no such array")
+		}
+		return make([]byte, 100), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPoolValidation(t *testing.T) {
+	if _, err := NewDataPool(0, func(string) ([]byte, error) { return nil, nil }); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	if _, err := NewDataPool(10, nil); err == nil {
+		t.Fatal("nil loader accepted")
+	}
+}
+
+func TestPoolLoadsOnMissCachesOnHit(t *testing.T) {
+	var loads int64
+	p := newPool(t, 1000, &loads)
+	if _, err := p.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	if loads != 1 {
+		t.Fatalf("loads = %d, want 1", loads)
+	}
+	hits, misses, _ := p.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestPoolEvictsLRU(t *testing.T) {
+	var loads int64
+	p := newPool(t, 250, &loads) // room for two 100-byte arrays
+	p.Get("a")
+	p.Get("b")
+	p.Get("a") // a is now most recent
+	p.Get("c") // evicts b
+	if !p.Resident("a") || p.Resident("b") || !p.Resident("c") {
+		t.Fatalf("LRU order wrong: a=%v b=%v c=%v", p.Resident("a"), p.Resident("b"), p.Resident("c"))
+	}
+	_, _, evictions := p.Stats()
+	if evictions != 1 {
+		t.Fatalf("evictions = %d", evictions)
+	}
+}
+
+func TestPoolImmutability(t *testing.T) {
+	p := newPool(t, 1000, nil)
+	if err := p.Put("x", make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Put("x", make([]byte, 10)); err == nil {
+		t.Fatal("overwrite of immutable array accepted")
+	}
+}
+
+func TestPoolRejectsOversizedArray(t *testing.T) {
+	p := newPool(t, 50, nil)
+	if err := p.Put("big", make([]byte, 100)); err == nil {
+		t.Fatal("array above budget accepted")
+	}
+}
+
+func TestPoolPinPreventsEviction(t *testing.T) {
+	p := newPool(t, 250, nil)
+	p.Get("a")
+	if err := p.Pin("a"); err != nil {
+		t.Fatal(err)
+	}
+	p.Get("b")
+	p.Get("c") // must evict b, not pinned a
+	if !p.Resident("a") {
+		t.Fatal("pinned array evicted")
+	}
+	if err := p.Unpin("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Pin("ghost"); err == nil {
+		t.Fatal("pinning a non-resident array accepted")
+	}
+}
+
+func TestPoolAllPinnedFull(t *testing.T) {
+	p := newPool(t, 200, nil)
+	p.Get("a")
+	p.Get("b")
+	p.Pin("a")
+	p.Pin("b")
+	if _, err := p.Get("c"); err == nil {
+		t.Fatal("pool full of pinned arrays still admitted a load")
+	}
+}
+
+func TestPoolLoaderErrorSurfaces(t *testing.T) {
+	p := newPool(t, 1000, nil)
+	if _, err := p.Get("missing"); err == nil {
+		t.Fatal("loader error swallowed")
+	}
+}
+
+func TestPoolConcurrentGetSharesLoad(t *testing.T) {
+	var loads int64
+	p := newPool(t, 10000, &loads)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := p.Get("shared"); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if loads != 1 {
+		t.Fatalf("concurrent gets caused %d loads, want 1", loads)
+	}
+}
+
+func TestPoolPrefetch(t *testing.T) {
+	var loads int64
+	p := newPool(t, 10000, &loads)
+	wait := p.Prefetch("a", "b", "c")
+	wait()
+	if loads != 3 {
+		t.Fatalf("prefetch loaded %d, want 3", loads)
+	}
+	if !p.Resident("a") || !p.Resident("b") || !p.Resident("c") {
+		t.Fatal("prefetched arrays not resident")
+	}
+	if p.Used() != 300 {
+		t.Fatalf("used = %d", p.Used())
+	}
+}
+
+// --- Scheduler ---------------------------------------------------------------
+
+func TestSchedulerValidation(t *testing.T) {
+	if _, err := NewScheduler(0, nil); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+}
+
+func TestSchedulerRespectsDependencies(t *testing.T) {
+	s, _ := NewScheduler(4, nil)
+	var mu sync.Mutex
+	done := map[string]bool{}
+	mark := func(id string, deps ...string) func() error {
+		return func() error {
+			mu.Lock()
+			defer mu.Unlock()
+			for _, d := range deps {
+				if !done[d] {
+					return fmt.Errorf("%s ran before %s", id, d)
+				}
+			}
+			done[id] = true
+			return nil
+		}
+	}
+	tasks := []Task{
+		{ID: "load", Outputs: []string{"H"}, Fn: mark("load")},
+		{ID: "mul", Inputs: []string{"H"}, Outputs: []string{"Y"}, Fn: mark("mul", "load")},
+		{ID: "norm", Inputs: []string{"Y"}, Fn: mark("norm", "mul")},
+		{ID: "independent", Fn: mark("independent")},
+	}
+	order, err := s.Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 4 {
+		t.Fatalf("completed %d tasks", len(order))
+	}
+}
+
+func TestSchedulerDetectsCycle(t *testing.T) {
+	s, _ := NewScheduler(2, nil)
+	tasks := []Task{
+		{ID: "a", Inputs: []string{"y"}, Outputs: []string{"x"}},
+		{ID: "b", Inputs: []string{"x"}, Outputs: []string{"y"}},
+	}
+	if _, err := s.Run(tasks); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestSchedulerRejectsDuplicateProducers(t *testing.T) {
+	s, _ := NewScheduler(1, nil)
+	tasks := []Task{
+		{ID: "a", Outputs: []string{"x"}},
+		{ID: "b", Outputs: []string{"x"}},
+	}
+	if _, err := s.Run(tasks); err == nil {
+		t.Fatal("two producers for one immutable array accepted")
+	}
+}
+
+func TestSchedulerRejectsDuplicateIDs(t *testing.T) {
+	s, _ := NewScheduler(1, nil)
+	if _, err := s.Run([]Task{{ID: "a"}, {ID: "a"}}); err == nil {
+		t.Fatal("duplicate IDs accepted")
+	}
+	if _, err := s.Run([]Task{{ID: ""}}); err == nil {
+		t.Fatal("empty ID accepted")
+	}
+}
+
+func TestSchedulerPropagatesTaskError(t *testing.T) {
+	s, _ := NewScheduler(2, nil)
+	tasks := []Task{
+		{ID: "bad", Fn: func() error { return errors.New("exploded") }},
+		{ID: "good", Fn: func() error { return nil }},
+	}
+	if _, err := s.Run(tasks); err == nil || !contains(err.Error(), "exploded") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSchedulerDataAwareOrdering(t *testing.T) {
+	// Single worker; arrays "hot" and "cold": the data-aware policy must run
+	// the task with the resident input first even though it sorts later.
+	resident := func(name string) bool { return name == "zzz-hot" }
+	s, _ := NewScheduler(1, resident)
+	var order []string
+	var mu sync.Mutex
+	rec := func(id string) func() error {
+		return func() error {
+			mu.Lock()
+			order = append(order, id)
+			mu.Unlock()
+			return nil
+		}
+	}
+	tasks := []Task{
+		{ID: "a-cold", Inputs: []string{"aaa-cold"}, Fn: rec("a-cold")},
+		{ID: "z-hot", Inputs: []string{"zzz-hot"}, Fn: rec("z-hot")},
+	}
+	if _, err := s.Run(tasks); err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "z-hot" {
+		t.Fatalf("order = %v; resident input should run first", order)
+	}
+}
+
+func TestSchedulerPriorityTieBreak(t *testing.T) {
+	s, _ := NewScheduler(1, nil)
+	var order []string
+	var mu sync.Mutex
+	rec := func(id string) func() error {
+		return func() error {
+			mu.Lock()
+			order = append(order, id)
+			mu.Unlock()
+			return nil
+		}
+	}
+	tasks := []Task{
+		{ID: "low", Priority: 1, Fn: rec("low")},
+		{ID: "high", Priority: 9, Fn: rec("high")},
+	}
+	if _, err := s.Run(tasks); err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "high" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSchedulerManyTasksManyWorkers(t *testing.T) {
+	s, _ := NewScheduler(8, nil)
+	var counter int64
+	var tasks []Task
+	// A layered DAG: layer k depends on layer k-1.
+	for layer := 0; layer < 5; layer++ {
+		for i := 0; i < 20; i++ {
+			task := Task{
+				ID:      fmt.Sprintf("t%d_%d", layer, i),
+				Outputs: []string{fmt.Sprintf("out%d_%d", layer, i)},
+				Fn: func() error {
+					atomic.AddInt64(&counter, 1)
+					return nil
+				},
+			}
+			if layer > 0 {
+				task.Inputs = []string{fmt.Sprintf("out%d_%d", layer-1, i)}
+			}
+			tasks = append(tasks, task)
+		}
+	}
+	order, err := s.Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 100 || counter != 100 {
+		t.Fatalf("ran %d tasks, counter %d", len(order), counter)
+	}
+}

@@ -1,0 +1,114 @@
+package dooc
+
+import "fmt"
+
+// This file implements the data-migration extension the paper adds to
+// DOoC+LAF (§3.1): "we extend the functionality of DOoC+LAF in our
+// simulation to enable migration of data between data pools as well as
+// between a monolithic data pool and an individual node's memory."
+
+// Drop removes a resident array from the pool, freeing its budget. Dropping
+// a pinned array is an error (it is in use); dropping an absent name is a
+// no-op so migrations are idempotent.
+func (p *DataPool) Drop(name string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	el, ok := p.entries[name]
+	if !ok {
+		return nil
+	}
+	e := el.Value.(*poolEntry)
+	if e.pinned {
+		return fmt.Errorf("dooc: drop %q: array is pinned", name)
+	}
+	p.lru.Remove(el)
+	delete(p.entries, name)
+	p.used -= int64(len(e.data))
+	return nil
+}
+
+// MigrateTo moves a named array from this pool into dst: the bytes become
+// resident in dst (loading them through this pool first if necessary) and
+// leave this pool. Against the same pool it is a no-op.
+func (p *DataPool) MigrateTo(dst *DataPool, name string) error {
+	if dst == nil {
+		return fmt.Errorf("dooc: migrate %q: nil destination", name)
+	}
+	if dst == p {
+		return nil
+	}
+	data, err := p.Get(name)
+	if err != nil {
+		return fmt.Errorf("dooc: migrate %q: %w", name, err)
+	}
+	if !dst.Resident(name) {
+		if err := dst.Put(name, data); err != nil {
+			return fmt.Errorf("dooc: migrate %q: %w", name, err)
+		}
+	}
+	return p.Drop(name)
+}
+
+// Federation ties a set of node-local pools to one monolithic view: Fetch
+// finds an array wherever it lives and migrates it to the requesting node's
+// pool, the way DOoC's distributed storage layer "enables filters to reach
+// data stored on any node in the cluster".
+type Federation struct {
+	pools map[string]*DataPool
+}
+
+// NewFederation registers the named node pools.
+func NewFederation(pools map[string]*DataPool) (*Federation, error) {
+	if len(pools) == 0 {
+		return nil, fmt.Errorf("dooc: federation needs at least one pool")
+	}
+	for node, p := range pools {
+		if p == nil {
+			return nil, fmt.Errorf("dooc: federation pool %q is nil", node)
+		}
+	}
+	cp := make(map[string]*DataPool, len(pools))
+	for k, v := range pools {
+		cp[k] = v
+	}
+	return &Federation{pools: cp}, nil
+}
+
+// Pool returns the named node's pool.
+func (f *Federation) Pool(node string) (*DataPool, error) {
+	p, ok := f.pools[node]
+	if !ok {
+		return nil, fmt.Errorf("dooc: federation has no node %q", node)
+	}
+	return p, nil
+}
+
+// Locate reports which node currently holds the array, if any.
+func (f *Federation) Locate(name string) (string, bool) {
+	for node, p := range f.pools {
+		if p.Resident(name) {
+			return node, true
+		}
+	}
+	return "", false
+}
+
+// Fetch makes the array resident at the requesting node: a local hit is
+// returned directly; a remote hit migrates the array over; a global miss
+// loads through the local pool's own loader.
+func (f *Federation) Fetch(node, name string) ([]byte, error) {
+	local, err := f.Pool(node)
+	if err != nil {
+		return nil, err
+	}
+	if local.Resident(name) {
+		return local.Get(name)
+	}
+	if holder, ok := f.Locate(name); ok && holder != node {
+		src := f.pools[holder]
+		if err := src.MigrateTo(local, name); err != nil {
+			return nil, err
+		}
+	}
+	return local.Get(name)
+}

@@ -1,0 +1,166 @@
+package dooc
+
+import (
+	"errors"
+	"testing"
+)
+
+func loaderFor(data map[string][]byte) Loader {
+	return func(name string) ([]byte, error) {
+		b, ok := data[name]
+		if !ok {
+			return nil, errors.New("no such array")
+		}
+		return b, nil
+	}
+}
+
+func TestDrop(t *testing.T) {
+	p, _ := NewDataPool(1000, loaderFor(map[string][]byte{"a": make([]byte, 100)}))
+	p.Get("a")
+	if err := p.Drop("a"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Resident("a") || p.Used() != 0 {
+		t.Fatal("drop did not free the array")
+	}
+	// Dropping an absent name is a no-op.
+	if err := p.Drop("a"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropPinnedFails(t *testing.T) {
+	p, _ := NewDataPool(1000, loaderFor(map[string][]byte{"a": make([]byte, 10)}))
+	p.Get("a")
+	p.Pin("a")
+	if err := p.Drop("a"); err == nil {
+		t.Fatal("dropped a pinned array")
+	}
+}
+
+func TestMigrateMovesBytes(t *testing.T) {
+	backing := map[string][]byte{"H[0]": []byte("panel-zero")}
+	src, _ := NewDataPool(1000, loaderFor(backing))
+	dst, _ := NewDataPool(1000, loaderFor(nil))
+	src.Get("H[0]")
+	if err := src.MigrateTo(dst, "H[0]"); err != nil {
+		t.Fatal(err)
+	}
+	if src.Resident("H[0]") {
+		t.Fatal("source still holds the array")
+	}
+	got, err := dst.Get("H[0]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "panel-zero" {
+		t.Fatalf("bytes corrupted: %q", got)
+	}
+}
+
+func TestMigrateLoadsOnDemand(t *testing.T) {
+	// Migrating a non-resident array loads it through the source first.
+	backing := map[string][]byte{"x": make([]byte, 64)}
+	src, _ := NewDataPool(1000, loaderFor(backing))
+	dst, _ := NewDataPool(1000, loaderFor(nil))
+	if err := src.MigrateTo(dst, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Resident("x") {
+		t.Fatal("array not at destination")
+	}
+}
+
+func TestMigrateErrors(t *testing.T) {
+	src, _ := NewDataPool(1000, loaderFor(nil))
+	if err := src.MigrateTo(nil, "x"); err == nil {
+		t.Fatal("nil destination accepted")
+	}
+	if err := src.MigrateTo(src, "x"); err != nil {
+		t.Fatal("self-migration should be a no-op")
+	}
+	dst, _ := NewDataPool(1000, loaderFor(nil))
+	if err := src.MigrateTo(dst, "ghost"); err == nil {
+		t.Fatal("migrating an unloadable array succeeded")
+	}
+	// Destination too small.
+	backing := map[string][]byte{"big": make([]byte, 500)}
+	src2, _ := NewDataPool(1000, loaderFor(backing))
+	tiny, _ := NewDataPool(100, loaderFor(nil))
+	if err := src2.MigrateTo(tiny, "big"); err == nil {
+		t.Fatal("migration into an undersized pool succeeded")
+	}
+	// The failed migration must not have dropped the source copy.
+	if !src2.Resident("big") {
+		t.Fatal("failed migration lost the array")
+	}
+}
+
+func TestFederationValidation(t *testing.T) {
+	if _, err := NewFederation(nil); err == nil {
+		t.Fatal("empty federation accepted")
+	}
+	if _, err := NewFederation(map[string]*DataPool{"n": nil}); err == nil {
+		t.Fatal("nil pool accepted")
+	}
+}
+
+func TestFederationFetchLocalHit(t *testing.T) {
+	a, _ := NewDataPool(1000, loaderFor(map[string][]byte{"x": make([]byte, 8)}))
+	b, _ := NewDataPool(1000, loaderFor(nil))
+	fed, err := NewFederation(map[string]*DataPool{"nodeA": a, "nodeB": b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Get("x")
+	if _, err := fed.Fetch("nodeA", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if node, ok := fed.Locate("x"); !ok || node != "nodeA" {
+		t.Fatalf("Locate = %q, %v", node, ok)
+	}
+}
+
+func TestFederationFetchMigratesRemote(t *testing.T) {
+	a, _ := NewDataPool(1000, loaderFor(map[string][]byte{"x": []byte("hello")}))
+	b, _ := NewDataPool(1000, loaderFor(nil))
+	fed, _ := NewFederation(map[string]*DataPool{"nodeA": a, "nodeB": b})
+	a.Get("x") // resident at A
+	got, err := fed.Fetch("nodeB", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("bytes = %q", got)
+	}
+	if a.Resident("x") {
+		t.Fatal("array still at the old node (migration, not replication)")
+	}
+	if !b.Resident("x") {
+		t.Fatal("array not at the requesting node")
+	}
+}
+
+func TestFederationGlobalMissLoadsLocally(t *testing.T) {
+	a, _ := NewDataPool(1000, loaderFor(nil))
+	b, _ := NewDataPool(1000, loaderFor(map[string][]byte{"y": make([]byte, 4)}))
+	fed, _ := NewFederation(map[string]*DataPool{"nodeA": a, "nodeB": b})
+	if _, err := fed.Fetch("nodeB", "y"); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Resident("y") {
+		t.Fatal("global miss did not load through the local pool")
+	}
+}
+
+func TestFederationUnknownNode(t *testing.T) {
+	a, _ := NewDataPool(1000, loaderFor(nil))
+	fed, _ := NewFederation(map[string]*DataPool{"nodeA": a})
+	if _, err := fed.Fetch("ghost", "x"); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+	if _, err := fed.Pool("ghost"); err == nil {
+		t.Fatal("unknown pool accepted")
+	}
+}

@@ -1,0 +1,187 @@
+package dooc
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// Loader fetches a named array's bytes from backing storage. It is how the
+// pool reaches the node's NVM (or, in ION configurations, the network).
+type Loader func(name string) ([]byte, error)
+
+// DataPool is DOoC's distributed data storage layer for one node: named,
+// immutable-once-written arrays kept resident under a memory budget with
+// LRU replacement and asynchronous prefetch. "Large disk-located arrays are
+// immutable once written, removing any need for complicated coherency
+// mechanisms" (§2.1) — Put on an existing name is therefore an error.
+type DataPool struct {
+	mu       sync.Mutex
+	budget   int64
+	used     int64
+	loader   Loader
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recently used
+	inflight map[string]chan struct{}
+
+	hits, misses, evictions int64
+}
+
+type poolEntry struct {
+	name   string
+	data   []byte
+	pinned bool
+}
+
+// NewDataPool creates a pool with the given byte budget and loader.
+func NewDataPool(budget int64, loader Loader) (*DataPool, error) {
+	if budget <= 0 {
+		return nil, fmt.Errorf("dooc: pool budget must be positive, got %d", budget)
+	}
+	if loader == nil {
+		return nil, fmt.Errorf("dooc: pool requires a loader")
+	}
+	return &DataPool{
+		budget:   budget,
+		loader:   loader,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+		inflight: make(map[string]chan struct{}),
+	}, nil
+}
+
+// Used reports resident bytes.
+func (p *DataPool) Used() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.used
+}
+
+// Stats reports hit/miss/eviction counters.
+func (p *DataPool) Stats() (hits, misses, evictions int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses, p.evictions
+}
+
+// Put inserts an array produced by computation. Names are write-once.
+func (p *DataPool) Put(name string, data []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, exists := p.entries[name]; exists {
+		return fmt.Errorf("dooc: array %q is immutable and already present", name)
+	}
+	return p.insertLocked(name, data)
+}
+
+func (p *DataPool) insertLocked(name string, data []byte) error {
+	need := int64(len(data))
+	if need > p.budget {
+		return fmt.Errorf("dooc: array %q (%d bytes) exceeds pool budget %d", name, need, p.budget)
+	}
+	for p.used+need > p.budget {
+		if !p.evictOneLocked() {
+			return fmt.Errorf("dooc: pool full of pinned arrays; cannot fit %q", name)
+		}
+	}
+	el := p.lru.PushFront(&poolEntry{name: name, data: data})
+	p.entries[name] = el
+	p.used += need
+	return nil
+}
+
+func (p *DataPool) evictOneLocked() bool {
+	for el := p.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*poolEntry)
+		if e.pinned {
+			continue
+		}
+		p.lru.Remove(el)
+		delete(p.entries, e.name)
+		p.used -= int64(len(e.data))
+		p.evictions++
+		return true
+	}
+	return false
+}
+
+// Get returns the named array, loading it through the Loader on a miss.
+// Concurrent Gets of the same missing name share one load.
+func (p *DataPool) Get(name string) ([]byte, error) {
+	for {
+		p.mu.Lock()
+		if el, ok := p.entries[name]; ok {
+			p.lru.MoveToFront(el)
+			p.hits++
+			data := el.Value.(*poolEntry).data
+			p.mu.Unlock()
+			return data, nil
+		}
+		if ch, loading := p.inflight[name]; loading {
+			p.mu.Unlock()
+			<-ch
+			continue // re-check: the load may have failed or been evicted
+		}
+		ch := make(chan struct{})
+		p.inflight[name] = ch
+		p.misses++
+		p.mu.Unlock()
+
+		data, err := p.loader(name)
+		p.mu.Lock()
+		delete(p.inflight, name)
+		close(ch)
+		if err != nil {
+			p.mu.Unlock()
+			return nil, fmt.Errorf("dooc: loading %q: %w", name, err)
+		}
+		if _, exists := p.entries[name]; !exists {
+			if ierr := p.insertLocked(name, data); ierr != nil {
+				p.mu.Unlock()
+				return nil, ierr
+			}
+		}
+		p.mu.Unlock()
+		return data, nil
+	}
+}
+
+// Pin prevents eviction of a resident array (e.g. the panel a task is
+// multiplying right now).
+func (p *DataPool) Pin(name string) error { return p.setPin(name, true) }
+
+// Unpin re-enables eviction.
+func (p *DataPool) Unpin(name string) error { return p.setPin(name, false) }
+
+func (p *DataPool) setPin(name string, v bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	el, ok := p.entries[name]
+	if !ok {
+		return fmt.Errorf("dooc: pin %q: not resident", name)
+	}
+	el.Value.(*poolEntry).pinned = v
+	return nil
+}
+
+// Resident reports whether a name is in the pool.
+func (p *DataPool) Resident(name string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.entries[name]
+	return ok
+}
+
+// Prefetch starts asynchronous loads for the given names (DOoC's "basic
+// prefetching"): the returned function waits for all of them.
+func (p *DataPool) Prefetch(names ...string) (wait func()) {
+	var wg sync.WaitGroup
+	for _, n := range names {
+		wg.Add(1)
+		go func(n string) {
+			defer wg.Done()
+			_, _ = p.Get(n) // errors resurface on the demand Get
+		}(n)
+	}
+	return wg.Wait
+}

@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"testing"
+
+	"oocnvm/internal/fs"
+	"oocnvm/internal/nvm"
+)
+
+// TestCalibrationProbe is a diagnostic: it prints bandwidth across the main
+// calibration levers (readahead window, request cap, metadata barriers,
+// journal traffic) for all NVM types. Run with -v to see the table.
+func TestCalibrationProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	opt := TestOptions()
+	opt.MeasureRemaining = false
+	probe := func(label string, p fs.Profile) {
+		t.Helper()
+		line := label + " "
+		for _, cell := range []nvm.CellType{nvm.TLC, nvm.MLC, nvm.SLC, nvm.PCM} {
+			m, err := Run(CNL(p), cell, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			line += cell.String() + "=" + formatMBps(m.AchievedMBps()) + " "
+		}
+		t.Log(line)
+	}
+	for _, mr := range []int64{64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20} {
+		for _, mult := range []int64{2, 3, 4, 6, 8} {
+			probe("mr="+fmtKiB(mr)+" ra="+fmtKiB(mr*mult), fs.Profile{
+				Name: "PROBE", BlockSize: 4096, MaxRequest: mr, ReadAheadBytes: mr * mult,
+			})
+		}
+	}
+	for _, meta := range []int64{0, 1 << 20, 4 << 20} {
+		probe("meta="+fmtKiB(meta), fs.Profile{
+			Name: "PROBE", BlockSize: 4096, MaxRequest: 256 << 10,
+			ReadAheadBytes: 512 << 10, MetaBytes: meta,
+		})
+	}
+	for _, jr := range []int64{0, 16 << 20, 48 << 20} {
+		probe("jrnl="+fmtKiB(jr), fs.Profile{
+			Name: "PROBE", BlockSize: 4096, MaxRequest: 256 << 10,
+			ReadAheadBytes: 512 << 10, JournalBytes: jr, JournalWriteSize: 16 << 10,
+		})
+	}
+}
+
+func fmtKiB(n int64) string {
+	return formatMBps(float64(n) / 1024) // reuse: prints KiB with same formatting
+}
+
+func formatMBps(v float64) string {
+	switch {
+	case v >= 1000:
+		return itoa(int(v + 0.5))
+	default:
+		return itoa(int(v*10+0.5)/10*1) + "." + itoa(int(v*10+0.5)%10)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [24]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,54 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"oocnvm/internal/nvm"
+)
+
+// BarRow is one bar of an ASCII chart.
+type BarRow struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders horizontal ASCII bars scaled to the maximum value, for
+// terminal-friendly figure output (`oocbench -chart`).
+func BarChart(title, unit string, rows []BarRow, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	var max float64
+	for _, r := range rows {
+		if r.Value > max {
+			max = r.Value
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for _, r := range rows {
+		n := 0
+		if max > 0 {
+			n = int(r.Value / max * float64(width))
+		}
+		if n > width {
+			n = width
+		}
+		fmt.Fprintf(&b, "%-16s %-*s %10.1f %s\n", r.Label, width, strings.Repeat("#", n), r.Value, unit)
+	}
+	return b.String()
+}
+
+// BandwidthChart renders one NVM type's Figure 7a/8a column as a bar chart.
+func BandwidthChart(title string, ms []Measurement, configs []Config, cell nvm.CellType) string {
+	rows := make([]BarRow, 0, len(configs))
+	for _, cfg := range configs {
+		m, err := Lookup(ms, cfg.Name, cell)
+		if err != nil {
+			continue
+		}
+		rows = append(rows, BarRow{Label: cfg.Name, Value: m.AchievedMBps()})
+	}
+	return BarChart(fmt.Sprintf("%s (%s, MB/s)", title, cell), "MB/s", rows, 48)
+}

@@ -1,0 +1,63 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"oocnvm/internal/nvm"
+)
+
+func TestBarChartScaling(t *testing.T) {
+	out := BarChart("T", "MB/s", []BarRow{
+		{Label: "half", Value: 50},
+		{Label: "full", Value: 100},
+		{Label: "zero", Value: 0},
+	}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if strings.Count(lines[2], "#") != 10 {
+		t.Fatalf("full bar has %d marks, want 10: %q", strings.Count(lines[2], "#"), lines[2])
+	}
+	if strings.Count(lines[1], "#") != 5 {
+		t.Fatalf("half bar has %d marks, want 5", strings.Count(lines[1], "#"))
+	}
+	if strings.Count(lines[3], "#") != 0 {
+		t.Fatal("zero bar has marks")
+	}
+}
+
+func TestBarChartAllZero(t *testing.T) {
+	out := BarChart("T", "u", []BarRow{{Label: "a", Value: 0}}, 0)
+	if strings.Count(out, "#") != 0 {
+		t.Fatal("zero-valued chart drew bars")
+	}
+}
+
+func TestBandwidthChartRendersConfigs(t *testing.T) {
+	opt := TestOptions()
+	opt.MeasureRemaining = false
+	opt.Workload.MatrixBytes = 32 << 20
+	cfgs := DeviceConfigs()
+	ms, err := Matrix(cfgs, []nvm.CellType{nvm.PCM}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := BandwidthChart("Figure 8a", ms, cfgs, nvm.PCM)
+	for _, c := range cfgs {
+		if !strings.Contains(out, c.Name) {
+			t.Errorf("chart missing %s:\n%s", c.Name, out)
+		}
+	}
+	// The ladder must render monotonically more marks.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")[1:]
+	prev := -1
+	for _, l := range lines {
+		n := strings.Count(l, "#")
+		if n < prev {
+			t.Fatalf("bars not monotone:\n%s", out)
+		}
+		prev = n
+	}
+}

@@ -1,0 +1,187 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"oocnvm/internal/ftl"
+	"oocnvm/internal/interconnect"
+	"oocnvm/internal/nvm"
+	"oocnvm/internal/ooc"
+	"oocnvm/internal/ssd"
+	"oocnvm/internal/trace"
+)
+
+// Options parameterize an evaluation run.
+type Options struct {
+	Workload   ooc.Workload
+	Geometry   nvm.Geometry
+	QueueDepth int
+	Seed       uint64
+	// MeasureRemaining additionally runs each configuration with an
+	// infinitely fast host path to measure what the media could have
+	// delivered under the same access pattern (Figures 7b and 8b).
+	MeasureRemaining bool
+}
+
+// DefaultOptions returns the evaluation defaults: the standard OoC workload
+// on the paper's 8-channel/64-package/128-die geometry.
+func DefaultOptions() Options {
+	return Options{
+		Workload:         ooc.DefaultWorkload(),
+		Geometry:         nvm.PaperGeometry(),
+		QueueDepth:       ssd.DefaultQueueDepth,
+		Seed:             42,
+		MeasureRemaining: true,
+	}
+}
+
+// TestOptions returns a reduced workload for fast unit/shape tests.
+func TestOptions() Options {
+	o := DefaultOptions()
+	o.Workload = ooc.Workload{MatrixBytes: 96 << 20, PanelBytes: 8 << 20, Applications: 2}
+	return o
+}
+
+// Measurement is the result of one (configuration, NVM type) cell of the
+// evaluation matrix.
+type Measurement struct {
+	Config Config
+	Cell   nvm.CellType
+	// Achieved is the real run.
+	Achieved ssd.Result
+	// MediaCapableMBps is the bandwidth of the infinite-host-path run; zero
+	// when not measured.
+	MediaCapableMBps float64
+}
+
+// AchievedMBps is the achieved application bandwidth in MB/s.
+func (m Measurement) AchievedMBps() float64 { return m.Achieved.MBps() }
+
+// RemainingMBps is the paper's "bandwidth remaining" metric: what the media
+// could still have delivered under this access pattern, beyond what the
+// full stack achieved.
+func (m Measurement) RemainingMBps() float64 {
+	r := m.MediaCapableMBps - m.AchievedMBps()
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Run evaluates one configuration with one NVM type.
+func Run(cfg Config, cell nvm.CellType, opt Options) (Measurement, error) {
+	blockOps, window, err := blockTrace(cfg, cell, opt)
+	if err != nil {
+		return Measurement{}, err
+	}
+	achieved, err := replay(cfg, cell, opt, blockOps, window, cfg.buildLink())
+	if err != nil {
+		return Measurement{}, err
+	}
+	m := Measurement{Config: cfg, Cell: cell, Achieved: achieved}
+	if opt.MeasureRemaining {
+		capable, err := replay(cfg, cell, opt, blockOps, window, interconnect.Infinite{})
+		if err != nil {
+			return Measurement{}, err
+		}
+		m.MediaCapableMBps = capable.MBps()
+	}
+	return m, nil
+}
+
+// blockTrace produces the device-level trace a configuration's software
+// stack emits for the workload, along with the stack's in-flight window.
+func blockTrace(cfg Config, cell nvm.CellType, opt Options) ([]trace.BlockOp, int64, error) {
+	posix, err := opt.Workload.PosixTrace()
+	if err != nil {
+		return nil, 0, err
+	}
+	cp := nvm.Params(cell)
+	capacity := opt.Geometry.Capacity(cp)
+	fsys, err := cfg.buildFS(capacity, opt.Seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	return fsys.Transform(posix), fsys.ReadAhead(), nil
+}
+
+// replay drives the block trace through a freshly assembled SSD.
+func replay(cfg Config, cell nvm.CellType, opt Options, ops []trace.BlockOp, window int64, link nvm.Link) (ssd.Result, error) {
+	cp := nvm.Params(cell)
+	var translator ssd.Translator
+	if cfg.Kind == FSUFS {
+		translator = ssd.Direct{Geo: opt.Geometry, Cell: cp}
+	} else {
+		f, err := ftl.New(opt.Geometry, cp, ftl.Config{})
+		if err != nil {
+			return ssd.Result{}, err
+		}
+		if err := f.Preload(opt.Workload.MatrixBytes); err != nil {
+			return ssd.Result{}, fmt.Errorf("experiment: %s/%s: %w", cfg.Name, cell, err)
+		}
+		translator = f
+	}
+	drive, err := ssd.New(ssd.Config{
+		Geometry:    opt.Geometry,
+		Cell:        cp,
+		Bus:         cfg.Bus,
+		Link:        link,
+		Translator:  translator,
+		QueueDepth:  opt.QueueDepth,
+		WindowBytes: window,
+		Seed:        opt.Seed,
+	})
+	if err != nil {
+		return ssd.Result{}, err
+	}
+	return drive.Replay(ops), nil
+}
+
+// Matrix evaluates every (configuration, cell) pair concurrently and returns
+// measurements in (config-major, cell-minor) order.
+func Matrix(configs []Config, cells []nvm.CellType, opt Options) ([]Measurement, error) {
+	type job struct{ ci, ni int }
+	out := make([]Measurement, len(configs)*len(cells))
+	errs := make([]error, len(out))
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	workers := runtime.NumCPU()
+	if workers > len(out) {
+		workers = len(out)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				idx := j.ci*len(cells) + j.ni
+				out[idx], errs[idx] = Run(configs[j.ci], cells[j.ni], opt)
+			}
+		}()
+	}
+	for ci := range configs {
+		for ni := range cells {
+			jobs <- job{ci, ni}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Lookup finds the measurement for a configuration name and cell type.
+func Lookup(ms []Measurement, name string, cell nvm.CellType) (Measurement, error) {
+	for _, m := range ms {
+		if m.Config.Name == name && m.Cell == cell {
+			return m, nil
+		}
+	}
+	return Measurement{}, fmt.Errorf("experiment: no measurement for %s/%s", name, cell)
+}

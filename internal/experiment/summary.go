@@ -1,0 +1,97 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"oocnvm/internal/nvm"
+)
+
+// Summary carries the paper's headline ratios (§7) computed from a full
+// measurement matrix.
+type Summary struct {
+	// CNLOverION is the mean improvement of the baseline compute-local
+	// approach (conventional file systems on CNL hardware) over ION-GPFS:
+	// the paper reports ~108% on average.
+	CNLOverION float64
+	// UFSOverCNL is UFS's additional improvement over the mean conventional
+	// CNL file system: the paper reports ~52%.
+	UFSOverCNL float64
+	// HWOverUFS is the hardware ladder's additional improvement
+	// (CNL-NATIVE-16 over CNL-UFS): the paper reports ~250%.
+	HWOverUFS float64
+	// TotalOverION maps each NVM type to the end-to-end CNL-NATIVE-16 /
+	// ION-GPFS speedup: the paper reports 16x for PCM and 8x for TLC,
+	// 10.3x relative improvement overall.
+	TotalOverION map[nvm.CellType]float64
+	// MeanTotalOverION averages TotalOverION over the NVM types.
+	MeanTotalOverION float64
+}
+
+// conventionalCNLNames lists the non-UFS compute-local file systems.
+func conventionalCNLNames() []string {
+	return []string{"CNL-JFS", "CNL-BTRFS", "CNL-XFS", "CNL-REISERFS",
+		"CNL-EXT2", "CNL-EXT3", "CNL-EXT4", "CNL-EXT4-L"}
+}
+
+// Summarize computes the headline ratios from a full Table 2 matrix.
+func Summarize(ms []Measurement, cells []nvm.CellType) (Summary, error) {
+	s := Summary{TotalOverION: make(map[nvm.CellType]float64)}
+	var cnlGain, ufsGain, hwGain, totalGain float64
+	for _, cell := range cells {
+		ion, err := Lookup(ms, "ION-GPFS", cell)
+		if err != nil {
+			return s, err
+		}
+		var cnlSum float64
+		for _, name := range conventionalCNLNames() {
+			m, err := Lookup(ms, name, cell)
+			if err != nil {
+				return s, err
+			}
+			cnlSum += m.AchievedMBps()
+		}
+		cnlMean := cnlSum / float64(len(conventionalCNLNames()))
+		ufsM, err := Lookup(ms, "CNL-UFS", cell)
+		if err != nil {
+			return s, err
+		}
+		n16, err := Lookup(ms, "CNL-NATIVE-16", cell)
+		if err != nil {
+			return s, err
+		}
+		cnlGain += cnlMean/ion.AchievedMBps() - 1
+		ufsGain += ufsM.AchievedMBps()/cnlMean - 1
+		hwGain += n16.AchievedMBps()/ufsM.AchievedMBps() - 1
+		ratio := n16.AchievedMBps() / ion.AchievedMBps()
+		s.TotalOverION[cell] = ratio
+		totalGain += ratio
+	}
+	n := float64(len(cells))
+	s.CNLOverION = cnlGain / n
+	s.UFSOverCNL = ufsGain / n
+	s.HWOverUFS = hwGain / n
+	s.MeanTotalOverION = totalGain / n
+	return s, nil
+}
+
+// Format renders the summary with the paper's reference values alongside.
+func (s Summary) Format(cells []nvm.CellType) string {
+	var b strings.Builder
+	b.WriteString("Headline results (paper §7 reference in parentheses)\n")
+	fmt.Fprintf(&b, "  compute-local over ION-GPFS:        +%.0f%%  (paper: +108%%)\n", 100*s.CNLOverION)
+	fmt.Fprintf(&b, "  UFS over conventional CNL FS:       +%.0f%%  (paper: +52%%)\n", 100*s.UFSOverCNL)
+	fmt.Fprintf(&b, "  HW ladder (NATIVE-16) over UFS:     +%.0f%%  (paper: +250%%)\n", 100*s.HWOverUFS)
+	for _, c := range cells {
+		ref := ""
+		switch c {
+		case nvm.PCM:
+			ref = "  (paper: ~16x)"
+		case nvm.TLC:
+			ref = "  (paper: ~8x)"
+		}
+		fmt.Fprintf(&b, "  total %s NATIVE-16 / ION-GPFS:     %.1fx%s\n", c, s.TotalOverION[c], ref)
+	}
+	fmt.Fprintf(&b, "  mean total speedup:                 %.1fx  (paper: 10.3x)\n", s.MeanTotalOverION)
+	return b.String()
+}

@@ -1,0 +1,340 @@
+// Package ftl implements the flash translation layer that conventional
+// file-system configurations run on top of (paper Figure 4a). It provides
+// page-granular logical-to-physical mapping, log-structured writes striped
+// over all channels/planes/dies in superblock units, greedy garbage
+// collection with valid-page relocation, and wear-aware free-block selection.
+//
+// UFS configurations bypass this layer entirely (Figure 4b): "UFS can be
+// seen to both replace existing file systems but also, and more importantly,
+// the underlying FTL of the SSD."
+package ftl
+
+import (
+	"container/heap"
+	"fmt"
+
+	"oocnvm/internal/nvm"
+)
+
+// FTL is a page-mapped translation layer over one device's geometry.
+type FTL struct {
+	geo   nvm.Geometry
+	cell  nvm.CellParams
+	rowsz int64 // pages per "row": Channels * Planes * DiesPerChannel
+	ppb   int64 // pages per eraseblock
+	spb   int64 // pages per superblock: rowsz * ppb
+	super int64 // number of superblocks
+
+	l2p map[int64]int64 // overrides; absent means identity (preloaded layout)
+	p2l map[int64]int64 // reverse map for relocation
+
+	sb        []superblock
+	freeHeap  wearHeap // free superblocks ordered by wear (wear leveling)
+	active    int64    // currently filling superblock, -1 if none
+	writePtr  int64    // next page slot within the active superblock
+	preloaded int64    // superblocks occupied by preloaded, identity-mapped data
+	reserve   int      // GC trigger: minimum free superblocks to maintain
+
+	// Statistics.
+	gcRuns     int64
+	relocated  int64
+	hostWrites int64
+	nandWrites int64
+}
+
+type superblock struct {
+	valid  int64
+	wear   int64
+	sealed bool
+	free   bool
+}
+
+// Config tunes the FTL.
+type Config struct {
+	// ReserveSuperblocks is the free-pool low-water mark that triggers GC.
+	ReserveSuperblocks int
+}
+
+// New creates an FTL over the given geometry and medium.
+func New(geo nvm.Geometry, cell nvm.CellParams, cfg Config) (*FTL, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ReserveSuperblocks <= 0 {
+		cfg.ReserveSuperblocks = 2
+	}
+	f := &FTL{
+		geo:     geo,
+		cell:    cell,
+		rowsz:   int64(geo.Channels * cell.Planes * geo.DiesPerChannel()),
+		ppb:     int64(cell.PagesPerBlock),
+		super:   int64(geo.BlocksPerPlane),
+		l2p:     make(map[int64]int64),
+		p2l:     make(map[int64]int64),
+		active:  -1,
+		reserve: cfg.ReserveSuperblocks,
+	}
+	f.spb = f.rowsz * f.ppb
+	f.sb = make([]superblock, f.super)
+	for i := range f.sb {
+		f.sb[i].free = true
+		heap.Push(&f.freeHeap, wearEntry{id: int64(i), wear: 0})
+	}
+	return f, nil
+}
+
+// Pages reports the device's total page population.
+func (f *FTL) Pages() int64 { return f.super * f.spb }
+
+// CapacityBytes reports the device's raw capacity.
+func (f *FTL) CapacityBytes() int64 { return f.Pages() * f.cell.PageSize }
+
+// PageSize reports the translation granularity.
+func (f *FTL) PageSize() int64 { return f.cell.PageSize }
+
+// Locate maps a physical page number to its resources. Pages stripe
+// channel-first, plane-second, die-third within a "row"; ppb consecutive
+// rows of one die-plane form an eraseblock, and the eraseblocks of one row
+// group across all die-planes form a superblock.
+func (f *FTL) Locate(ppn int64) nvm.Location {
+	return f.geo.MapLogical(ppn, f.cell.Planes)
+}
+
+func (f *FTL) superOf(ppn int64) int64 { return ppn / f.spb }
+
+// Preload marks the first `bytes` of the logical space as resident,
+// identity-mapped, fully valid data (the OoC dataset staged onto the SSD
+// before computation). It returns an error if the data exceeds capacity
+// minus the GC reserve.
+func (f *FTL) Preload(bytes int64) error {
+	pages := (bytes + f.cell.PageSize - 1) / f.cell.PageSize
+	supers := (pages + f.spb - 1) / f.spb
+	if supers > f.super-int64(f.reserve) {
+		return fmt.Errorf("ftl: preload of %d bytes needs %d superblocks, only %d available",
+			bytes, supers, f.super-int64(f.reserve))
+	}
+	// Rebuild the free heap without the preloaded superblocks.
+	f.freeHeap = f.freeHeap[:0]
+	for i := int64(0); i < f.super; i++ {
+		if i < supers {
+			f.sb[i] = superblock{valid: f.spb, sealed: true}
+			continue
+		}
+		if f.sb[i].free {
+			heap.Push(&f.freeHeap, wearEntry{id: i, wear: f.sb[i].wear})
+		}
+	}
+	f.preloaded = supers
+	return nil
+}
+
+// lookup returns the physical page currently holding lpn.
+func (f *FTL) lookup(lpn int64) int64 {
+	if ppn, ok := f.l2p[lpn]; ok {
+		return ppn
+	}
+	return lpn // identity: preloaded layout
+}
+
+// Read translates a byte-addressed read into page operations.
+func (f *FTL) Read(offset, size int64) []nvm.PageOp {
+	first := offset / f.cell.PageSize
+	last := (offset + size - 1) / f.cell.PageSize
+	if size <= 0 {
+		return nil
+	}
+	ops := make([]nvm.PageOp, 0, last-first+1)
+	for lpn := first; lpn <= last; lpn++ {
+		ppn := f.lookup(lpn) % f.Pages()
+		ops = append(ops, nvm.PageOp{Op: nvm.OpRead, Loc: f.Locate(ppn)})
+	}
+	return ops
+}
+
+// Write translates a byte-addressed write into page programs, appending to
+// the active superblock. The returned slice may also contain relocation
+// reads/programs and erases when garbage collection was required.
+func (f *FTL) Write(offset, size int64) []nvm.PageOp {
+	if size <= 0 {
+		return nil
+	}
+	first := offset / f.cell.PageSize
+	last := (offset + size - 1) / f.cell.PageSize
+	var ops []nvm.PageOp
+	for lpn := first; lpn <= last; lpn++ {
+		f.hostWrites++
+		ops = append(ops, f.program(lpn)...)
+	}
+	return ops
+}
+
+// program appends one logical page to the log, running GC first if the free
+// pool is exhausted.
+func (f *FTL) program(lpn int64) []nvm.PageOp {
+	var ops []nvm.PageOp
+	if f.active < 0 || f.writePtr >= f.spb {
+		if f.active >= 0 {
+			f.sb[f.active].sealed = true
+		}
+		ops = append(ops, f.maybeGC()...)
+		f.active = f.allocSuperblock()
+		f.writePtr = 0
+	}
+	// Invalidate the previous version.
+	old, had := f.l2p[lpn]
+	if had {
+		f.sb[f.superOf(old)].valid--
+		delete(f.p2l, old)
+	} else if lpn < f.preloaded*f.spb {
+		// Overwriting identity-mapped preloaded data.
+		f.sb[f.superOf(lpn)].valid--
+	}
+	ppn := f.active*f.spb + f.writePtr
+	f.writePtr++
+	f.l2p[lpn] = ppn
+	f.p2l[ppn] = lpn
+	f.sb[f.active].valid++
+	f.nandWrites++
+	ops = append(ops, nvm.PageOp{Op: nvm.OpProgram, Loc: f.Locate(ppn)})
+	return ops
+}
+
+// allocSuperblock takes the least-worn free superblock.
+func (f *FTL) allocSuperblock() int64 {
+	if f.freeHeap.Len() == 0 {
+		panic("ftl: free pool exhausted despite GC reserve")
+	}
+	e := heap.Pop(&f.freeHeap).(wearEntry)
+	f.sb[e.id].free = false
+	f.sb[e.id].sealed = false
+	f.sb[e.id].valid = 0
+	return e.id
+}
+
+// maybeGC reclaims sealed superblocks until the free pool meets the reserve.
+func (f *FTL) maybeGC() []nvm.PageOp {
+	var ops []nvm.PageOp
+	for f.freeHeap.Len() < f.reserve {
+		victim := f.pickVictim()
+		if victim < 0 {
+			break // nothing reclaimable
+		}
+		ops = append(ops, f.collect(victim)...)
+	}
+	return ops
+}
+
+// pickVictim chooses the sealed, non-preloaded superblock with the fewest
+// valid pages (greedy GC).
+func (f *FTL) pickVictim() int64 {
+	best := int64(-1)
+	bestValid := f.spb + 1
+	for i := f.preloaded; i < f.super; i++ {
+		s := &f.sb[i]
+		if s.free || !s.sealed || i == f.active {
+			continue
+		}
+		if s.valid < bestValid {
+			bestValid = s.valid
+			best = i
+		}
+	}
+	return best
+}
+
+// collect relocates a victim's valid pages into the log and erases it.
+func (f *FTL) collect(victim int64) []nvm.PageOp {
+	f.gcRuns++
+	var ops []nvm.PageOp
+	base := victim * f.spb
+	for p := base; p < base+f.spb; p++ {
+		lpn, ok := f.p2l[p]
+		if !ok {
+			continue
+		}
+		// Read the stale location, then program into the active log.
+		ops = append(ops, nvm.PageOp{Op: nvm.OpRead, Loc: f.Locate(p)})
+		f.relocated++
+		delete(f.p2l, p)
+		f.sb[victim].valid--
+		delete(f.l2p, lpn)
+		// Re-program through the normal path (may not recurse into GC since
+		// the active superblock has room or a free one exists).
+		ops = append(ops, f.program(lpn)...)
+	}
+	// Erase every eraseblock of the superblock: one per die-plane.
+	for r := int64(0); r < f.rowsz; r++ {
+		ops = append(ops, nvm.PageOp{Op: nvm.OpErase, Loc: f.Locate(base + r)})
+	}
+	f.sb[victim].wear++
+	f.sb[victim].free = true
+	f.sb[victim].sealed = false
+	heap.Push(&f.freeHeap, wearEntry{id: victim, wear: f.sb[victim].wear})
+	return ops
+}
+
+// Stats reports FTL activity counters.
+type Stats struct {
+	GCRuns         int64
+	RelocatedPages int64
+	HostWrites     int64
+	NANDWrites     int64
+	FreeSuper      int
+}
+
+// Stats snapshots the counters. Write amplification is
+// NANDWrites/HostWrites when HostWrites > 0.
+func (f *FTL) Stats() Stats {
+	return Stats{
+		GCRuns:         f.gcRuns,
+		RelocatedPages: f.relocated,
+		HostWrites:     f.hostWrites,
+		NANDWrites:     f.nandWrites,
+		FreeSuper:      f.freeHeap.Len(),
+	}
+}
+
+// WriteAmplification returns NAND writes per host write (1.0 = none).
+func (f *FTL) WriteAmplification() float64 {
+	if f.hostWrites == 0 {
+		return 0
+	}
+	return float64(f.nandWrites+f.relocated) / float64(f.hostWrites)
+}
+
+// MaxWear returns the highest superblock erase count.
+func (f *FTL) MaxWear() int64 {
+	var m int64
+	for i := range f.sb {
+		if f.sb[i].wear > m {
+			m = f.sb[i].wear
+		}
+	}
+	return m
+}
+
+// --- wear-ordered free heap --------------------------------------------
+
+type wearEntry struct {
+	id   int64
+	wear int64
+}
+
+type wearHeap []wearEntry
+
+func (h wearHeap) Len() int { return len(h) }
+func (h wearHeap) Less(i, j int) bool {
+	if h[i].wear != h[j].wear {
+		return h[i].wear < h[j].wear
+	}
+	return h[i].id < h[j].id
+}
+func (h wearHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *wearHeap) Push(x interface{}) { *h = append(*h, x.(wearEntry)) }
+func (h *wearHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

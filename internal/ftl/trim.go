@@ -1,0 +1,26 @@
+package ftl
+
+import "oocnvm/internal/nvm"
+
+// Erase implements the host-facing erase/discard verb of the ssd.Translator
+// contract. Under an FTL the host cannot erase physical blocks; the request
+// is honored as a TRIM: affected logical pages are unmapped and their
+// physical copies invalidated, making the space reclaimable by GC. No device
+// operations are issued.
+func (f *FTL) Erase(offset, size int64) []nvm.PageOp {
+	if size <= 0 {
+		return nil
+	}
+	first := offset / f.cell.PageSize
+	last := (offset + size - 1) / f.cell.PageSize
+	for lpn := first; lpn <= last; lpn++ {
+		if ppn, ok := f.l2p[lpn]; ok {
+			f.sb[f.superOf(ppn)].valid--
+			delete(f.p2l, ppn)
+			delete(f.l2p, lpn)
+		} else if lpn < f.preloaded*f.spb {
+			f.sb[f.superOf(lpn)].valid--
+		}
+	}
+	return nil
+}

@@ -1,0 +1,369 @@
+// Package laf implements the linear algebra framework of the paper's
+// middleware stack (DOoC+LAF, §2.1/§3.1): dense matrices partitioned into
+// row panels that live out-of-core as named immutable arrays, with blocked
+// operations (multiply, scaled add, dot products, norms) expressed as task
+// DAGs over the DOoC scheduler and staged through a DOoC data pool. "By
+// using a set of directives and routines exposed by DOoC+LAF, the OoC
+// application is able to provide the framework enough knowledge ... to
+// transparently handle global and local scheduling of tasks and data
+// migration."
+package laf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"oocnvm/internal/dooc"
+	"oocnvm/internal/linalg"
+)
+
+// Meta describes one out-of-core dense array.
+type Meta struct {
+	Name      string
+	Rows      int
+	Cols      int
+	PanelRows int
+}
+
+// Panels returns the partition count.
+func (m Meta) Panels() int { return (m.Rows + m.PanelRows - 1) / m.PanelRows }
+
+// panelName names panel i of an array.
+func (m Meta) panelName(i int) string { return fmt.Sprintf("%s[%d]", m.Name, i) }
+
+// panelBounds returns panel i's row range.
+func (m Meta) panelBounds(i int) (lo, hi int) {
+	lo = i * m.PanelRows
+	hi = lo + m.PanelRows
+	if hi > m.Rows {
+		hi = m.Rows
+	}
+	return lo, hi
+}
+
+// Engine executes blocked operations over a backing store (the "disk") and
+// a DOoC data pool (the staging memory).
+type Engine struct {
+	mu      sync.Mutex
+	backing map[string][]byte
+	arrays  map[string]Meta
+
+	pool    *dooc.DataPool
+	workers int
+}
+
+// New creates an engine with the given pool budget (staging memory) and
+// worker count.
+func New(poolBudget int64, workers int) (*Engine, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("laf: workers must be positive, got %d", workers)
+	}
+	e := &Engine{
+		backing: make(map[string][]byte),
+		arrays:  make(map[string]Meta),
+		workers: workers,
+	}
+	pool, err := dooc.NewDataPool(poolBudget, e.loadPanel)
+	if err != nil {
+		return nil, err
+	}
+	e.pool = pool
+	return e, nil
+}
+
+// Pool exposes the staging pool for instrumentation.
+func (e *Engine) Pool() *dooc.DataPool { return e.pool }
+
+func (e *Engine) loadPanel(name string) ([]byte, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b, ok := e.backing[name]
+	if !ok {
+		return nil, fmt.Errorf("laf: no panel %q on backing storage", name)
+	}
+	return b, nil
+}
+
+// Store writes an in-memory matrix to the backing store as an out-of-core
+// array partitioned into panelRows-row panels. Arrays are immutable once
+// stored.
+func (e *Engine) Store(name string, m *linalg.Matrix, panelRows int) error {
+	if panelRows <= 0 {
+		return fmt.Errorf("laf: store %q: panelRows must be positive", name)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.arrays[name]; dup {
+		return fmt.Errorf("laf: store %q: array exists and is immutable", name)
+	}
+	meta := Meta{Name: name, Rows: m.Rows, Cols: m.Cols, PanelRows: panelRows}
+	for i := 0; i < meta.Panels(); i++ {
+		lo, hi := meta.panelBounds(i)
+		e.backing[meta.panelName(i)] = encodePanel(m.Data[lo*m.Cols : hi*m.Cols])
+	}
+	e.arrays[name] = meta
+	return nil
+}
+
+// Describe returns an array's metadata.
+func (e *Engine) Describe(name string) (Meta, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	meta, ok := e.arrays[name]
+	if !ok {
+		return Meta{}, fmt.Errorf("laf: no array %q", name)
+	}
+	return meta, nil
+}
+
+// Load reassembles an out-of-core array into memory (tests, small results).
+func (e *Engine) Load(name string) (*linalg.Matrix, error) {
+	meta, err := e.Describe(name)
+	if err != nil {
+		return nil, err
+	}
+	out := linalg.NewMatrix(meta.Rows, meta.Cols)
+	for i := 0; i < meta.Panels(); i++ {
+		raw, err := e.pool.Get(meta.panelName(i))
+		if err != nil {
+			return nil, err
+		}
+		lo, hi := meta.panelBounds(i)
+		vals, err := decodePanel(raw, (hi-lo)*meta.Cols)
+		if err != nil {
+			return nil, fmt.Errorf("laf: load %q panel %d: %w", name, i, err)
+		}
+		copy(out.Data[lo*meta.Cols:hi*meta.Cols], vals)
+	}
+	return out, nil
+}
+
+// Free drops an array from backing storage and the pool (space reclamation;
+// immutability applies to content, not lifetime).
+func (e *Engine) Free(name string) error {
+	meta, err := e.Describe(name)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < meta.Panels(); i++ {
+		if err := e.pool.Drop(meta.panelName(i)); err != nil {
+			return err
+		}
+		e.mu.Lock()
+		delete(e.backing, meta.panelName(i))
+		e.mu.Unlock()
+	}
+	e.mu.Lock()
+	delete(e.arrays, name)
+	e.mu.Unlock()
+	return nil
+}
+
+// runPanelTasks schedules one task per panel of meta, data-aware.
+func (e *Engine) runPanelTasks(meta Meta, op string, fn func(i int, panel []float64) error) error {
+	sched, err := dooc.NewScheduler(e.workers, e.pool.Resident)
+	if err != nil {
+		return err
+	}
+	tasks := make([]dooc.Task, meta.Panels())
+	for i := 0; i < meta.Panels(); i++ {
+		i := i
+		pname := meta.panelName(i)
+		tasks[i] = dooc.Task{
+			ID:     fmt.Sprintf("%s:%s", op, pname),
+			Inputs: []string{pname},
+			Fn: func() error {
+				raw, err := e.pool.Get(pname)
+				if err != nil {
+					return err
+				}
+				lo, hi := meta.panelBounds(i)
+				vals, err := decodePanel(raw, (hi-lo)*meta.Cols)
+				if err != nil {
+					return err
+				}
+				return fn(i, vals)
+			},
+		}
+	}
+	_, err = sched.Run(tasks)
+	return err
+}
+
+// MatMul computes C = A × B where A is out-of-core (row panels), B is an
+// in-memory block, and the result is stored out-of-core under cname with
+// A's partitioning. It is the H×Ψ kernel of the eigensolver expressed in
+// LAF terms.
+func (e *Engine) MatMul(cname, aname string, b *linalg.Matrix) error {
+	meta, err := e.Describe(aname)
+	if err != nil {
+		return err
+	}
+	if meta.Cols != b.Rows {
+		return fmt.Errorf("laf: matmul %s(%dx%d) x B(%dx%d): shape mismatch",
+			aname, meta.Rows, meta.Cols, b.Rows, b.Cols)
+	}
+	e.mu.Lock()
+	if _, dup := e.arrays[cname]; dup {
+		e.mu.Unlock()
+		return fmt.Errorf("laf: matmul: result %q exists and is immutable", cname)
+	}
+	e.mu.Unlock()
+
+	out := Meta{Name: cname, Rows: meta.Rows, Cols: b.Cols, PanelRows: meta.PanelRows}
+	results := make([][]byte, out.Panels())
+	err = e.runPanelTasks(meta, "matmul", func(i int, panel []float64) error {
+		lo, hi := meta.panelBounds(i)
+		rows := hi - lo
+		c := make([]float64, rows*b.Cols)
+		for r := 0; r < rows; r++ {
+			arow := panel[r*meta.Cols : (r+1)*meta.Cols]
+			crow := c[r*b.Cols : (r+1)*b.Cols]
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+				for j := range crow {
+					crow[j] += av * brow[j]
+				}
+			}
+		}
+		results[i] = encodePanel(c)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	for i, raw := range results {
+		e.backing[out.panelName(i)] = raw
+	}
+	e.arrays[cname] = out
+	e.mu.Unlock()
+	return nil
+}
+
+// Dot computes the Frobenius inner product <A, B> of two identically
+// partitioned out-of-core arrays.
+func (e *Engine) Dot(aname, bname string) (float64, error) {
+	a, err := e.Describe(aname)
+	if err != nil {
+		return 0, err
+	}
+	bm, err := e.Describe(bname)
+	if err != nil {
+		return 0, err
+	}
+	if a.Rows != bm.Rows || a.Cols != bm.Cols || a.PanelRows != bm.PanelRows {
+		return 0, fmt.Errorf("laf: dot %s/%s: partitioning mismatch", aname, bname)
+	}
+	partial := make([]float64, a.Panels())
+	err = e.runPanelTasks(a, "dot", func(i int, pa []float64) error {
+		raw, err := e.pool.Get(bm.panelName(i))
+		if err != nil {
+			return err
+		}
+		lo, hi := bm.panelBounds(i)
+		pb, err := decodePanel(raw, (hi-lo)*bm.Cols)
+		if err != nil {
+			return err
+		}
+		var s float64
+		for k := range pa {
+			s += pa[k] * pb[k]
+		}
+		partial[i] = s
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, s := range partial {
+		total += s
+	}
+	return total, nil
+}
+
+// Norm computes the Frobenius norm of an out-of-core array.
+func (e *Engine) Norm(name string) (float64, error) {
+	d, err := e.Dot(name, name)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(d), nil
+}
+
+// ScaledAdd stores out = A + alpha·B for identically partitioned arrays.
+func (e *Engine) ScaledAdd(outName, aname string, alpha float64, bname string) error {
+	a, err := e.Describe(aname)
+	if err != nil {
+		return err
+	}
+	bm, err := e.Describe(bname)
+	if err != nil {
+		return err
+	}
+	if a.Rows != bm.Rows || a.Cols != bm.Cols || a.PanelRows != bm.PanelRows {
+		return fmt.Errorf("laf: scaledadd %s/%s: partitioning mismatch", aname, bname)
+	}
+	e.mu.Lock()
+	if _, dup := e.arrays[outName]; dup {
+		e.mu.Unlock()
+		return fmt.Errorf("laf: scaledadd: result %q exists and is immutable", outName)
+	}
+	e.mu.Unlock()
+	out := Meta{Name: outName, Rows: a.Rows, Cols: a.Cols, PanelRows: a.PanelRows}
+	results := make([][]byte, out.Panels())
+	err = e.runPanelTasks(a, "scaledadd", func(i int, pa []float64) error {
+		raw, err := e.pool.Get(bm.panelName(i))
+		if err != nil {
+			return err
+		}
+		lo, hi := bm.panelBounds(i)
+		pb, err := decodePanel(raw, (hi-lo)*bm.Cols)
+		if err != nil {
+			return err
+		}
+		c := make([]float64, len(pa))
+		for k := range pa {
+			c[k] = pa[k] + alpha*pb[k]
+		}
+		results[i] = encodePanel(c)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	for i, raw := range results {
+		e.backing[out.panelName(i)] = raw
+	}
+	e.arrays[outName] = out
+	e.mu.Unlock()
+	return nil
+}
+
+// --- panel codec --------------------------------------------------------------
+
+func encodePanel(vals []float64) []byte {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	return buf
+}
+
+func decodePanel(raw []byte, want int) ([]float64, error) {
+	if len(raw) != 8*want {
+		return nil, fmt.Errorf("laf: panel has %d bytes, want %d", len(raw), 8*want)
+	}
+	vals := make([]float64, want)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	return vals, nil
+}

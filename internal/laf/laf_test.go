@@ -1,0 +1,300 @@
+package laf
+
+import (
+	"math"
+	"testing"
+
+	"oocnvm/internal/linalg"
+	"oocnvm/internal/sim"
+)
+
+func randomMatrix(seed uint64, rows, cols int) *linalg.Matrix {
+	rng := sim.NewRNG(seed)
+	m := linalg.NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()*2 - 1
+	}
+	return m
+}
+
+func newEngine(t *testing.T, budget int64) *Engine {
+	t.Helper()
+	e, err := New(budget, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1000, 0); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	if _, err := New(0, 2); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+}
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	e := newEngine(t, 1<<20)
+	m := randomMatrix(1, 37, 5) // deliberately not a multiple of panelRows
+	if err := e.Store("A", m, 8); err != nil {
+		t.Fatal(err)
+	}
+	back, err := e.Load("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Data {
+		if m.Data[i] != back.Data[i] {
+			t.Fatalf("round trip diverged at %d", i)
+		}
+	}
+	meta, err := e.Describe("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Panels() != 5 { // ceil(37/8)
+		t.Fatalf("panels = %d, want 5", meta.Panels())
+	}
+}
+
+func TestStoreImmutable(t *testing.T) {
+	e := newEngine(t, 1<<20)
+	m := randomMatrix(2, 8, 2)
+	if err := e.Store("A", m, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Store("A", m, 4); err == nil {
+		t.Fatal("overwrite of immutable array accepted")
+	}
+	if err := e.Store("B", m, 0); err == nil {
+		t.Fatal("zero panelRows accepted")
+	}
+}
+
+func TestMatMulMatchesDirect(t *testing.T) {
+	e := newEngine(t, 1<<20)
+	a := randomMatrix(3, 50, 20)
+	b := randomMatrix(4, 20, 6)
+	if err := e.Store("A", a, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.MatMul("C", "A", b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Load("C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := a.Mul(b)
+	for i := range want.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > 1e-12 {
+			t.Fatalf("OoC matmul diverges at %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestMatMulUnderTightPoolBudget(t *testing.T) {
+	// The pool only holds two panels at a time: the run must stream
+	// (load-evict-load) and still be exact.
+	a := randomMatrix(5, 64, 16)
+	b := randomMatrix(6, 16, 4)
+	panelBytes := int64(8 * 8 * 16) // 8 rows x 16 cols x 8 bytes
+	e := newEngine(t, 2*panelBytes+64)
+	if err := e.Store("A", a, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.MatMul("C", "A", b); err != nil {
+		t.Fatal(err)
+	}
+	_, misses, evictions := e.Pool().Stats()
+	if misses == 0 || evictions == 0 {
+		t.Fatalf("tight budget did not stream: misses=%d evictions=%d", misses, evictions)
+	}
+	got, err := e.Load("C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := a.Mul(b)
+	for i := range want.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > 1e-12 {
+			t.Fatal("streamed matmul diverged")
+		}
+	}
+}
+
+func TestMatMulShapeErrors(t *testing.T) {
+	e := newEngine(t, 1<<20)
+	a := randomMatrix(7, 10, 4)
+	e.Store("A", a, 5)
+	if err := e.MatMul("C", "A", linalg.NewMatrix(5, 2)); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	if err := e.MatMul("C", "ghost", linalg.NewMatrix(4, 2)); err == nil {
+		t.Fatal("unknown operand accepted")
+	}
+	e.MatMul("C", "A", linalg.NewMatrix(4, 2))
+	if err := e.MatMul("C", "A", linalg.NewMatrix(4, 2)); err == nil {
+		t.Fatal("result overwrite accepted")
+	}
+}
+
+func TestDotAndNorm(t *testing.T) {
+	e := newEngine(t, 1<<20)
+	a := randomMatrix(8, 30, 3)
+	b := randomMatrix(9, 30, 3)
+	e.Store("A", a, 7)
+	e.Store("B", b, 7)
+	got, err := e.Dot("A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for i := range a.Data {
+		want += a.Data[i] * b.Data[i]
+	}
+	if math.Abs(got-want) > 1e-10 {
+		t.Fatalf("dot = %v, want %v", got, want)
+	}
+	n, err := e.Norm("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(n-a.FrobeniusNorm()) > 1e-10 {
+		t.Fatalf("norm = %v, want %v", n, a.FrobeniusNorm())
+	}
+}
+
+func TestDotPartitionMismatch(t *testing.T) {
+	e := newEngine(t, 1<<20)
+	a := randomMatrix(10, 20, 2)
+	e.Store("A", a, 5)
+	e.Store("B", a, 4) // same shape, different partitioning
+	if _, err := e.Dot("A", "B"); err == nil {
+		t.Fatal("partitioning mismatch accepted")
+	}
+}
+
+func TestScaledAdd(t *testing.T) {
+	e := newEngine(t, 1<<20)
+	a := randomMatrix(11, 25, 4)
+	b := randomMatrix(12, 25, 4)
+	e.Store("A", a, 6)
+	e.Store("B", b, 6)
+	if err := e.ScaledAdd("Y", "A", -0.5, "B"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Load("Y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		want := a.Data[i] - 0.5*b.Data[i]
+		if math.Abs(got.Data[i]-want) > 1e-14 {
+			t.Fatal("scaled add diverged")
+		}
+	}
+}
+
+func TestFreeReleasesSpace(t *testing.T) {
+	e := newEngine(t, 1<<20)
+	a := randomMatrix(13, 16, 4)
+	e.Store("A", a, 4)
+	e.Load("A") // pull panels into the pool
+	if err := e.Free("A"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Describe("A"); err == nil {
+		t.Fatal("freed array still described")
+	}
+	if _, err := e.Load("A"); err == nil {
+		t.Fatal("freed array still loadable")
+	}
+}
+
+// TestPowerIterationOutOfCore composes the LAF primitives into a real
+// algorithm: power iteration for the dominant eigenvalue of a symmetric
+// matrix, fully out-of-core, cross-checked against the Jacobi eigensolver.
+func TestPowerIterationOutOfCore(t *testing.T) {
+	n := 40
+	dense := linalg.NewMatrix(n, n)
+	rng := sim.NewRNG(14)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.Float64() - 0.5
+			if i == j {
+				v += 2
+			}
+			dense.Set(i, j, v)
+			dense.Set(j, i, v)
+		}
+	}
+	e := newEngine(t, 1<<20)
+	if err := e.Store("A", dense, 8); err != nil {
+		t.Fatal(err)
+	}
+	x := linalg.NewMatrix(n, 1)
+	for i := range x.Data {
+		x.Data[i] = 1
+	}
+	var lambda float64
+	for it := 0; it < 200; it++ {
+		name := "y" + itoa(it)
+		if err := e.MatMul(name, "A", x); err != nil {
+			t.Fatal(err)
+		}
+		y, err := e.Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lambda = y.ColNorm(0)
+		y.Scale(1 / lambda)
+		x = y
+		e.Free(name)
+	}
+	vals, _, err := linalg.SymEig(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Max(math.Abs(vals[0]), math.Abs(vals[n-1]))
+	if math.Abs(lambda-want) > 1e-6 {
+		t.Fatalf("power iteration lambda = %v, Jacobi dominant = %v", lambda, want)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func TestOperandErrors(t *testing.T) {
+	e := newEngine(t, 1<<20)
+	if _, err := e.Norm("ghost"); err == nil {
+		t.Fatal("norm of unknown array accepted")
+	}
+	if _, err := e.Dot("ghost", "ghost"); err == nil {
+		t.Fatal("dot of unknown arrays accepted")
+	}
+	if err := e.ScaledAdd("out", "ghost", 1, "ghost"); err == nil {
+		t.Fatal("scaled add of unknown arrays accepted")
+	}
+	if err := e.Free("ghost"); err == nil {
+		t.Fatal("free of unknown array accepted")
+	}
+	a := randomMatrix(20, 10, 2)
+	e.Store("A", a, 5)
+	e.Store("B", a, 5)
+	if err := e.ScaledAdd("A", "A", 1, "B"); err == nil {
+		t.Fatal("scaled add over an existing array accepted")
+	}
+}

@@ -1,0 +1,204 @@
+package linalg
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// CSR is a square sparse matrix in compressed-sparse-row form.
+type CSR struct {
+	N      int
+	RowPtr []int64   // len N+1
+	Col    []int32   // len nnz
+	Val    []float64 // len nnz
+}
+
+// Triplet is one (row, col, value) entry for CSR assembly.
+type Triplet struct {
+	Row, Col int
+	Val      float64
+}
+
+// NewCSR assembles a CSR matrix from triplets; duplicate coordinates are
+// summed.
+func NewCSR(n int, entries []Triplet) (*CSR, error) {
+	for _, t := range entries {
+		if t.Row < 0 || t.Row >= n || t.Col < 0 || t.Col >= n {
+			return nil, fmt.Errorf("linalg: triplet (%d,%d) outside %dx%d", t.Row, t.Col, n, n)
+		}
+	}
+	sorted := make([]Triplet, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+	m := &CSR{N: n, RowPtr: make([]int64, n+1)}
+	for i := 0; i < len(sorted); {
+		j := i
+		v := 0.0
+		for j < len(sorted) && sorted[j].Row == sorted[i].Row && sorted[j].Col == sorted[i].Col {
+			v += sorted[j].Val
+			j++
+		}
+		m.Col = append(m.Col, int32(sorted[i].Col))
+		m.Val = append(m.Val, v)
+		m.RowPtr[sorted[i].Row+1]++
+		i = j
+	}
+	for r := 0; r < n; r++ {
+		m.RowPtr[r+1] += m.RowPtr[r]
+	}
+	return m, nil
+}
+
+// NNZ returns the stored entry count.
+func (m *CSR) NNZ() int64 { return int64(len(m.Val)) }
+
+// IsSymmetric verifies structural and numerical symmetry within tol.
+func (m *CSR) IsSymmetric(tol float64) bool {
+	type key struct{ r, c int32 }
+	seen := make(map[key]float64, len(m.Val))
+	for r := 0; r < m.N; r++ {
+		for p := m.RowPtr[r]; p < m.RowPtr[r+1]; p++ {
+			seen[key{int32(r), m.Col[p]}] = m.Val[p]
+		}
+	}
+	for k, v := range seen {
+		w, ok := seen[key{k.c, k.r}]
+		if !ok || abs(v-w) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// MulBlockRows computes Y[rows lo..hi) = M[lo..hi, :] × X for a dense block
+// X, writing into the corresponding rows of y. This is the panel kernel of
+// the out-of-core SpMM: each stored row panel multiplies the full block of
+// vectors while later panels are still in flight from storage.
+func (m *CSR) MulBlockRows(x *Matrix, y *Matrix, lo, hi int) {
+	if x.Rows != m.N || y.Rows != m.N || x.Cols != y.Cols {
+		panic(fmt.Sprintf("linalg: MulBlockRows shapes A=%d X=%dx%d Y=%dx%d",
+			m.N, x.Rows, x.Cols, y.Rows, y.Cols))
+	}
+	if lo < 0 || hi > m.N || lo > hi {
+		panic(fmt.Sprintf("linalg: MulBlockRows rows [%d,%d) of %d", lo, hi, m.N))
+	}
+	k := x.Cols
+	for r := lo; r < hi; r++ {
+		yrow := y.Data[r*k : (r+1)*k]
+		for i := range yrow {
+			yrow[i] = 0
+		}
+		for p := m.RowPtr[r]; p < m.RowPtr[r+1]; p++ {
+			v := m.Val[p]
+			xrow := x.Data[int(m.Col[p])*k : int(m.Col[p])*k+k]
+			for i := range yrow {
+				yrow[i] += v * xrow[i]
+			}
+		}
+	}
+}
+
+// Mul computes M × X over all rows, parallelized across row bands with one
+// goroutine per CPU. Each row is written by exactly one worker, so the
+// result is deterministic.
+func (m *CSR) Mul(x *Matrix) *Matrix {
+	y := NewMatrix(m.N, x.Cols)
+	workers := runtime.NumCPU()
+	if workers > m.N {
+		workers = m.N
+	}
+	if workers <= 1 {
+		m.MulBlockRows(x, y, 0, m.N)
+		return y
+	}
+	var wg sync.WaitGroup
+	band := (m.N + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * band
+		hi := lo + band
+		if hi > m.N {
+			hi = m.N
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			m.MulBlockRows(x, y, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return y
+}
+
+// Dense expands the matrix for small-scale reference computations.
+func (m *CSR) Dense() *Matrix {
+	d := NewMatrix(m.N, m.N)
+	for r := 0; r < m.N; r++ {
+		for p := m.RowPtr[r]; p < m.RowPtr[r+1]; p++ {
+			d.Set(r, int(m.Col[p]), m.Val[p])
+		}
+	}
+	return d
+}
+
+// RowPanel extracts rows [lo, hi) as a standalone CSR panel whose row
+// indices are rebased to zero. Column indices still refer to the full
+// matrix. BytesOnDisk estimates its serialized size.
+type RowPanel struct {
+	Lo, Hi int
+	RowPtr []int64
+	Col    []int32
+	Val    []float64
+}
+
+// Panel extracts rows [lo, hi).
+func (m *CSR) Panel(lo, hi int) RowPanel {
+	base := m.RowPtr[lo]
+	p := RowPanel{Lo: lo, Hi: hi, RowPtr: make([]int64, hi-lo+1)}
+	for r := lo; r <= hi; r++ {
+		p.RowPtr[r-lo] = m.RowPtr[r] - base
+	}
+	p.Col = m.Col[base:m.RowPtr[hi]]
+	p.Val = m.Val[base:m.RowPtr[hi]]
+	return p
+}
+
+// BytesOnDisk is the serialized footprint of the panel: 12 bytes per stored
+// entry (int32 column + float64 value) plus 8 per row pointer.
+func (p RowPanel) BytesOnDisk() int64 {
+	return int64(len(p.Val))*12 + int64(len(p.RowPtr))*8
+}
+
+// MulInto computes Y[lo..hi) = panel × X.
+func (p RowPanel) MulInto(x *Matrix, y *Matrix) {
+	k := x.Cols
+	for r := p.Lo; r < p.Hi; r++ {
+		yrow := y.Data[r*k : (r+1)*k]
+		for i := range yrow {
+			yrow[i] = 0
+		}
+		for q := p.RowPtr[r-p.Lo]; q < p.RowPtr[r-p.Lo+1]; q++ {
+			v := p.Val[q]
+			xrow := x.Data[int(p.Col[q])*k : int(p.Col[q])*k+k]
+			for i := range yrow {
+				yrow[i] += v * xrow[i]
+			}
+		}
+	}
+}

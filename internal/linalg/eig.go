@@ -1,0 +1,111 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SymEig computes all eigenvalues and eigenvectors of the symmetric matrix a
+// by the cyclic Jacobi method. Eigenvalues are returned ascending; column j
+// of the returned matrix is the eigenvector for values[j]. The input is not
+// modified. Jacobi is exactly what block methods need here: the matrices are
+// small (the Rayleigh-Ritz projections of LOBPCG are at most 3k × 3k) and
+// Jacobi's eigenvectors are orthogonal to machine precision.
+func SymEig(a *Matrix) (values []float64, vectors *Matrix, err error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, nil, fmt.Errorf("linalg: SymEig of non-square %dx%d", a.Rows, a.Cols)
+	}
+	// Verify symmetry within a tolerance scaled by magnitude.
+	scale := a.MaxAbs()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(a.At(i, j)-a.At(j, i)) > 1e-8*math.Max(scale, 1) {
+				return nil, nil, fmt.Errorf("linalg: SymEig input not symmetric at (%d,%d): %g vs %g",
+					i, j, a.At(i, j), a.At(j, i))
+			}
+		}
+	}
+	w := a.Clone()
+	v := Identity(n)
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(w)
+		if off <= 1e-14*math.Max(scale, 1) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) <= 1e-300 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				rotate(w, v, p, q, c, s)
+			}
+		}
+	}
+	values = make([]float64, n)
+	for i := range values {
+		values[i] = w.At(i, i)
+	}
+	// Sort ascending, permuting the eigenvector columns alongside.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return values[idx[i]] < values[idx[j]] })
+	sorted := make([]float64, n)
+	vec := NewMatrix(n, n)
+	for j, k := range idx {
+		sorted[j] = values[k]
+		for i := 0; i < n; i++ {
+			vec.Set(i, j, v.At(i, k))
+		}
+	}
+	return sorted, vec, nil
+}
+
+func offDiagNorm(a *Matrix) float64 {
+	var s float64
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if i != j {
+				v := a.At(i, j)
+				s += v * v
+			}
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// rotate applies the Jacobi rotation J(p,q,c,s) as a similarity transform to
+// w and accumulates it into v.
+func rotate(w, v *Matrix, p, q int, c, s float64) {
+	n := w.Rows
+	for i := 0; i < n; i++ {
+		wip, wiq := w.At(i, p), w.At(i, q)
+		w.Set(i, p, c*wip-s*wiq)
+		w.Set(i, q, s*wip+c*wiq)
+	}
+	for j := 0; j < n; j++ {
+		wpj, wqj := w.At(p, j), w.At(q, j)
+		w.Set(p, j, c*wpj-s*wqj)
+		w.Set(q, j, s*wpj+c*wqj)
+	}
+	for i := 0; i < n; i++ {
+		vip, viq := v.At(i, p), v.At(i, q)
+		v.Set(i, p, c*vip-s*viq)
+		v.Set(i, q, s*vip+c*viq)
+	}
+}

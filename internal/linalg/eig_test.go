@@ -1,0 +1,161 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"oocnvm/internal/sim"
+)
+
+func TestSymEigDiagonal(t *testing.T) {
+	a := NewMatrix(3, 3)
+	a.Set(0, 0, 3)
+	a.Set(1, 1, 1)
+	a.Set(2, 2, 2)
+	vals, vecs, err := SymEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if !almostEqual(vals[i], want[i], 1e-12) {
+			t.Fatalf("vals = %v", vals)
+		}
+	}
+	// Eigenvector for value 1 is e1 (up to sign).
+	if !almostEqual(math.Abs(vecs.At(1, 0)), 1, 1e-12) {
+		t.Fatalf("vecs = %v", vecs.Data)
+	}
+}
+
+func TestSymEigKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 2)
+	vals, _, err := SymEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(vals[0], 1, 1e-12) || !almostEqual(vals[1], 3, 1e-12) {
+		t.Fatalf("vals = %v", vals)
+	}
+}
+
+func TestSymEigReconstruction(t *testing.T) {
+	// A = V diag(w) Vᵀ must reconstruct the input.
+	rng := sim.NewRNG(6)
+	n := 12
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.Float64() - 0.5
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	vals, vecs, err := SymEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ascending order.
+	for i := 1; i < n; i++ {
+		if vals[i] < vals[i-1] {
+			t.Fatal("eigenvalues not ascending")
+		}
+	}
+	// Reconstruct.
+	d := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		d.Set(i, i, vals[i])
+	}
+	recon := vecs.Mul(d).Mul(transpose(vecs))
+	for i := range a.Data {
+		if !almostEqual(a.Data[i], recon.Data[i], 1e-9) {
+			t.Fatalf("reconstruction error at %d: %v vs %v", i, a.Data[i], recon.Data[i])
+		}
+	}
+	// Eigenvectors orthonormal.
+	g := vecs.TransMul(vecs)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !almostEqual(g.At(i, j), want, 1e-10) {
+				t.Fatal("eigenvectors not orthonormal")
+			}
+		}
+	}
+}
+
+func transpose(m *Matrix) *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+func TestSymEigTraceInvariant(t *testing.T) {
+	rng := sim.NewRNG(7)
+	n := 10
+	a := NewMatrix(n, n)
+	var tr float64
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.Float64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+		tr += a.At(i, i)
+	}
+	vals, _, err := SymEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	if !almostEqual(sum, tr, 1e-9) {
+		t.Fatalf("trace %v != eigenvalue sum %v", tr, sum)
+	}
+}
+
+func TestSymEigRejectsNonSquare(t *testing.T) {
+	if _, _, err := SymEig(NewMatrix(2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func TestSymEigRejectsAsymmetric(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 1, 5)
+	a.Set(1, 0, -5)
+	if _, _, err := SymEig(a); err == nil {
+		t.Fatal("asymmetric matrix accepted")
+	}
+}
+
+func TestSymEigDoesNotModifyInput(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 2)
+	before := a.Clone()
+	if _, _, err := SymEig(a); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if a.Data[i] != before.Data[i] {
+			t.Fatal("input modified")
+		}
+	}
+}

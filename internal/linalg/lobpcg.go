@@ -1,0 +1,183 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+
+	"oocnvm/internal/sim"
+)
+
+// Operator is a symmetric linear operator applied to blocks of vectors.
+// Out-of-core implementations stream the matrix from storage inside Apply.
+type Operator interface {
+	Dim() int
+	// Apply returns A·X for a dense block X (Dim rows).
+	Apply(x *Matrix) *Matrix
+}
+
+// DenseOperator adapts a CSR matrix as an Operator.
+type DenseOperator struct{ A *CSR }
+
+// Dim returns the matrix order.
+func (d DenseOperator) Dim() int { return d.A.N }
+
+// Apply multiplies through the in-memory CSR.
+func (d DenseOperator) Apply(x *Matrix) *Matrix { return d.A.Mul(x) }
+
+// LOBPCGOptions configures the solver.
+type LOBPCGOptions struct {
+	K       int     // number of smallest eigenpairs wanted (the paper's Ψ has 10-20 columns)
+	MaxIter int     // iteration cap
+	Tol     float64 // residual tolerance: ‖A·x − λ·x‖ ≤ Tol·max(1,|λ|)
+	Seed    uint64  // initial-block randomization
+
+	// X0, when non-nil, seeds the iterate block instead of a random start
+	// (restarting from a checkpoint). P0 optionally restores the conjugate
+	// directions alongside it.
+	X0 *Matrix
+	P0 *Matrix
+	// OnIteration, when non-nil, observes the solver state after each
+	// iteration's Rayleigh quotients are computed — the checkpointing hook.
+	// The matrices are live views; copy before storing.
+	OnIteration func(iter int, values []float64, x, p *Matrix)
+}
+
+// LOBPCGResult reports the converged eigenpairs.
+type LOBPCGResult struct {
+	Values     []float64 // ascending
+	Vectors    *Matrix   // Dim × K, column j pairs with Values[j]
+	Iterations int
+	Converged  bool
+	Residuals  []float64 // final residual norms per pair
+}
+
+// LOBPCG finds the K algebraically smallest eigenpairs of the symmetric
+// operator a using the locally optimal block preconditioned conjugate
+// gradient method (Knyazev 2001, the algorithm the paper's eigensolver
+// uses). No preconditioner is applied (T = I), matching the I/O-dominated
+// regime the paper studies.
+func LOBPCG(a Operator, opt LOBPCGOptions) (LOBPCGResult, error) {
+	n := a.Dim()
+	if opt.K <= 0 || opt.K > n {
+		return LOBPCGResult{}, fmt.Errorf("linalg: LOBPCG K=%d out of range for dim %d", opt.K, n)
+	}
+	if 3*opt.K > n {
+		return LOBPCGResult{}, fmt.Errorf("linalg: LOBPCG needs 3K <= dim, got K=%d dim=%d", opt.K, n)
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 200
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-8
+	}
+
+	var x *Matrix
+	if opt.X0 != nil {
+		if opt.X0.Rows != n || opt.X0.Cols != opt.K {
+			return LOBPCGResult{}, fmt.Errorf("linalg: LOBPCG X0 is %dx%d, want %dx%d",
+				opt.X0.Rows, opt.X0.Cols, n, opt.K)
+		}
+		x = Orthonormalize(opt.X0)
+	} else {
+		rng := sim.NewRNG(opt.Seed)
+		x = NewMatrix(n, opt.K)
+		for i := range x.Data {
+			x.Data[i] = rng.Float64() - 0.5
+		}
+		x = Orthonormalize(x)
+	}
+	if x.Cols < opt.K {
+		return LOBPCGResult{}, fmt.Errorf("linalg: LOBPCG initial block degenerate")
+	}
+
+	var p *Matrix // previous search directions
+	if opt.P0 != nil {
+		if opt.P0.Rows != n {
+			return LOBPCGResult{}, fmt.Errorf("linalg: LOBPCG P0 has %d rows, want %d", opt.P0.Rows, n)
+		}
+		p = Orthonormalize(opt.P0)
+		if p.Cols == 0 {
+			p = nil
+		}
+	}
+	res := LOBPCGResult{}
+	for it := 0; it < opt.MaxIter; it++ {
+		res.Iterations = it + 1
+		ax := a.Apply(x)
+		// Rayleigh quotients and residuals R = AX − X·diag(λ).
+		lambda := make([]float64, opt.K)
+		r := ax.Clone()
+		for j := 0; j < opt.K; j++ {
+			var num, den float64
+			for i := 0; i < n; i++ {
+				num += x.At(i, j) * ax.At(i, j)
+				den += x.At(i, j) * x.At(i, j)
+			}
+			lambda[j] = num / den
+			for i := 0; i < n; i++ {
+				r.Set(i, j, ax.At(i, j)-lambda[j]*x.At(i, j))
+			}
+		}
+		res.Values = lambda
+		if opt.OnIteration != nil {
+			opt.OnIteration(it, lambda, x, p)
+		}
+		res.Residuals = make([]float64, opt.K)
+		allConverged := true
+		for j := 0; j < opt.K; j++ {
+			res.Residuals[j] = r.ColNorm(j)
+			if res.Residuals[j] > opt.Tol*math.Max(1, math.Abs(lambda[j])) {
+				allConverged = false
+			}
+		}
+		if allConverged {
+			res.Converged = true
+			res.Vectors = x
+			return res, nil
+		}
+
+		// Build the trial subspace S = [X R P] and orthonormalize it.
+		s := Orthonormalize(HCat(x, r, p))
+		if s.Cols < opt.K {
+			return res, fmt.Errorf("linalg: LOBPCG subspace collapsed to %d columns", s.Cols)
+		}
+		as := a.Apply(s)
+		g := s.TransMul(as) // Rayleigh-Ritz projection, s.Cols × s.Cols
+		// Symmetrize to scrub round-off before Jacobi.
+		for i := 0; i < g.Rows; i++ {
+			for j := i + 1; j < g.Cols; j++ {
+				v := 0.5 * (g.At(i, j) + g.At(j, i))
+				g.Set(i, j, v)
+				g.Set(j, i, v)
+			}
+		}
+		_, vec, err := SymEig(g)
+		if err != nil {
+			return res, fmt.Errorf("linalg: LOBPCG Rayleigh-Ritz: %w", err)
+		}
+		c := vec.Slice(0, opt.K) // coefficients of the K smallest Ritz pairs
+
+		// New iterates and new conjugate directions: P spans the portion of
+		// the update orthogonal to the previous X (the [0 R P] part).
+		cTail := c.Clone()
+		// Zero the rows of C multiplying X's columns within S. S's first
+		// x.Cols columns came from X because Orthonormalize processes
+		// left-to-right and X was already orthonormal.
+		for i := 0; i < x.Cols && i < cTail.Rows; i++ {
+			for j := 0; j < cTail.Cols; j++ {
+				cTail.Set(i, j, 0)
+			}
+		}
+		newX := s.Mul(c)
+		p = Orthonormalize(s.Mul(cTail))
+		if p.Cols == 0 {
+			p = nil
+		}
+		x = Orthonormalize(newX)
+		if x.Cols < opt.K {
+			return res, fmt.Errorf("linalg: LOBPCG iterate block collapsed to %d columns", x.Cols)
+		}
+	}
+	res.Vectors = x
+	return res, nil
+}

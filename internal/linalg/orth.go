@@ -1,0 +1,59 @@
+package linalg
+
+import "math"
+
+// Orthonormalize replaces the columns of m with an orthonormal basis of
+// their span, using modified Gram-Schmidt with one reorthogonalization pass
+// (sufficient for the conditioning LOBPCG produces). Columns that become
+// numerically zero (linearly dependent on earlier ones) are dropped; the
+// returned matrix may therefore have fewer columns.
+func Orthonormalize(m *Matrix) *Matrix {
+	const drop = 1e-12
+	cols := make([][]float64, 0, m.Cols)
+	for j := 0; j < m.Cols; j++ {
+		v := m.Col(j)
+		orig := norm(v)
+		if orig == 0 {
+			continue
+		}
+		for pass := 0; pass < 2; pass++ {
+			for _, q := range cols {
+				r := dot(q, v)
+				axpy(-r, q, v)
+			}
+		}
+		n := norm(v)
+		if n <= drop*orig || n == 0 {
+			continue
+		}
+		scale(1/n, v)
+		cols = append(cols, v)
+	}
+	out := NewMatrix(m.Rows, len(cols))
+	for j, c := range cols {
+		out.SetCol(j, c)
+	}
+	return out
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func norm(a []float64) float64 { return math.Sqrt(dot(a, a)) }
+
+func axpy(alpha float64, x, y []float64) {
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+}
+
+func scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}

@@ -1,0 +1,50 @@
+package nvm
+
+import "oocnvm/internal/sim"
+
+// BusParams describes the NVM interface bus shared by the packages of one
+// channel (ONFi for NAND; the same electrical model serves the PCM parts
+// behind their flash-compatible interface).
+type BusParams struct {
+	Name      string
+	ClockMHz  float64
+	DDR       bool // double data rate: two transfers per clock
+	WidthBits int  // data bus width
+}
+
+// ONFi3SDR is the paper's baseline bus: ONFi major-revision 3 providing a
+// 400 MHz single-data-rate 8-bit interface, i.e. 400 MB/s per channel (§3.3).
+func ONFi3SDR() BusParams {
+	return BusParams{Name: "ONFi3-SDR-400", ClockMHz: 400, DDR: false, WidthBits: 8}
+}
+
+// FutureDDR is the paper's proposed "DDR3-1600-like" migration: an 800 MHz
+// dual-data-rate 16-bit interface, 3.2 GB/s per channel (§3.3, third problem).
+func FutureDDR() BusParams {
+	return BusParams{Name: "Future-DDR-800", ClockMHz: 800, DDR: true, WidthBits: 16}
+}
+
+// BytesPerSec returns the raw data bandwidth of the bus.
+func (b BusParams) BytesPerSec() float64 {
+	rate := b.ClockMHz * 1e6
+	if b.DDR {
+		rate *= 2
+	}
+	return rate * float64(b.WidthBits) / 8
+}
+
+// TransferTime returns the bus occupancy for moving n bytes.
+func (b BusParams) TransferTime(n int64) sim.Time {
+	return sim.DurationForBytes(n, b.BytesPerSec())
+}
+
+// CommandTime returns the bus occupancy of one command/address sequence
+// (command latch, five address cycles, confirm — ~12 bus clocks).
+func (b BusParams) CommandTime() sim.Time {
+	cycles := 12.0
+	perCycle := 1e12 / (b.ClockMHz * 1e6) // picoseconds per clock
+	if b.DDR {
+		perCycle /= 2
+	}
+	return sim.Time(cycles * perCycle)
+}

@@ -1,0 +1,54 @@
+package nvm
+
+import (
+	"testing"
+
+	"oocnvm/internal/sim"
+)
+
+func TestONFi3SDRRate(t *testing.T) {
+	b := ONFi3SDR()
+	if got := b.BytesPerSec(); got != 400e6 {
+		t.Fatalf("ONFi3 SDR = %v B/s, want 400e6 (§3.3: 400MHz SDR)", got)
+	}
+}
+
+func TestFutureDDRRate(t *testing.T) {
+	b := FutureDDR()
+	if got := b.BytesPerSec(); got != 3.2e9 {
+		t.Fatalf("future DDR = %v B/s, want 3.2e9 (800MHz DDR x16)", got)
+	}
+}
+
+func TestBusRatio(t *testing.T) {
+	// The paper's motivation: ONFi3 SDR 400MHz equals only 200MHz DDR2; the
+	// DDR3-1600-like migration must be a large multiple.
+	ratio := FutureDDR().BytesPerSec() / ONFi3SDR().BytesPerSec()
+	if ratio != 8 {
+		t.Fatalf("DDR/SDR ratio = %v, want 8", ratio)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	b := ONFi3SDR()
+	got := b.TransferTime(2048)
+	want := sim.Time(5.12 * float64(sim.Microsecond))
+	if got < want-sim.Nanosecond || got > want+sim.Nanosecond {
+		t.Fatalf("2 KiB over SDR = %v, want ~%v", got, want)
+	}
+}
+
+func TestCommandTime(t *testing.T) {
+	sdr := ONFi3SDR().CommandTime()
+	ddr := FutureDDR().CommandTime()
+	if sdr <= 0 || ddr <= 0 {
+		t.Fatal("command time must be positive")
+	}
+	if ddr >= sdr {
+		t.Fatal("faster bus must have faster command cycles")
+	}
+	// 12 cycles at 400 MHz = 30 ns.
+	if sdr != 30*sim.Nanosecond {
+		t.Fatalf("SDR command time = %v, want 30ns", sdr)
+	}
+}

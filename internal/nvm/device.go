@@ -1,0 +1,424 @@
+package nvm
+
+import (
+	"fmt"
+
+	"oocnvm/internal/sim"
+)
+
+// Op is a page-granular NVM transaction type.
+type Op int
+
+// NVM transaction kinds (the three verbs of the paper's Figure 4 "NVM
+// transaction-level read, write, erase").
+const (
+	OpRead Op = iota
+	OpProgram
+	OpErase
+)
+
+// String names the transaction kind.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpProgram:
+		return "program"
+	case OpErase:
+		return "erase"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// PageOp is one page-granular transaction addressed to a physical location.
+type PageOp struct {
+	Op  Op
+	Loc Location
+}
+
+// Link abstracts the host-side data path of the SSD (PCIe, possibly behind a
+// SATA bridge, possibly behind a cluster network). It is a shared, exclusive
+// resource: transfers serialize on it.
+type Link interface {
+	// Transfer books n bytes on the link no earlier than at and returns the
+	// completion time.
+	Transfer(at sim.Time, n int64) sim.Time
+	// RequestOverhead is the fixed per-request cost of the path (protocol
+	// re-encoding in bridges, network round-trip setup, ...).
+	RequestOverhead() sim.Time
+	// BytesPerSec reports the link's effective data bandwidth.
+	BytesPerSec() float64
+}
+
+// Device is an event-driven model of one SSD's NVM complex: channel buses and
+// dies as exclusive resources, Table 1 cell timings, multi-plane merging and
+// die interleaving emerging from the physical layout of each request.
+type Device struct {
+	Geo  Geometry
+	Cell CellParams
+	Bus  BusParams
+
+	link    Link
+	rng     *sim.RNG
+	chanBus []sim.Timeline   // one per channel
+	dies    [][]sim.Timeline // [channel][dieInChannel]
+
+	// Busy-union trackers for the paper's "kept busy" utilization probes:
+	// a channel counts as busy while its bus or any die behind it works; a
+	// package counts as busy while any of its dies works.
+	chCover  []sim.IntervalSet   // per channel
+	pkgCover [][]sim.IntervalSet // [channel][packageInChannel]
+
+	// Contention watermarks deduplicate queueing time: when many
+	// transactions wait on the same busy resource, the busy period is
+	// charged to the breakdown once, not once per waiter (the paper's
+	// breakdown is of device state time, not of per-waiter latency).
+	chContMark  []sim.Time
+	dieContMark [][]sim.Time
+
+	breakdown  Breakdown
+	pal        PALHistogram
+	bytesRead  int64
+	bytesWrit  int64
+	reads      int64
+	programs   int64
+	erases     int64
+	eraseCount map[Location]int64 // wear accounting per die/plane
+	started    bool
+	firstIssue sim.Time
+	lastEnd    sim.Time
+
+	// cacheMode enables dual-register ("cache read") operation: the die can
+	// sense the next page while the previous page drains from the secondary
+	// register, so register staging no longer occupies the die.
+	cacheMode bool
+
+	latency latencyHistogram
+}
+
+// EnableCacheMode turns on dual-register cache operation (see the cacheMode
+// field). Call before submitting work.
+func (d *Device) EnableCacheMode() { d.cacheMode = true }
+
+// NewDevice assembles a device from its geometry, medium, channel bus and
+// host link. The seed fixes the program-latency variation stream.
+func NewDevice(geo Geometry, cell CellParams, bus BusParams, link Link, seed uint64) (*Device, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	if link == nil {
+		return nil, fmt.Errorf("nvm: device requires a host link")
+	}
+	d := &Device{
+		Geo: geo, Cell: cell, Bus: bus,
+		link:        link,
+		rng:         sim.NewRNG(seed),
+		chanBus:     make([]sim.Timeline, geo.Channels),
+		dies:        make([][]sim.Timeline, geo.Channels),
+		chCover:     make([]sim.IntervalSet, geo.Channels),
+		pkgCover:    make([][]sim.IntervalSet, geo.Channels),
+		chContMark:  make([]sim.Time, geo.Channels),
+		dieContMark: make([][]sim.Time, geo.Channels),
+		eraseCount:  make(map[Location]int64),
+	}
+	for c := range d.dies {
+		d.dies[c] = make([]sim.Timeline, geo.DiesPerChannel())
+		d.pkgCover[c] = make([]sim.IntervalSet, geo.PackagesPerChannel)
+		d.dieContMark[c] = make([]sim.Time, geo.DiesPerChannel())
+	}
+	return d, nil
+}
+
+// regTime is the register/SRAM staging cost between a die's page register and
+// the channel ("flash bus activation"): the internal flash bus runs at twice
+// the external channel rate.
+func (d *Device) regTime() sim.Time {
+	return sim.DurationForBytes(d.Cell.PageSize, 2*d.Bus.BytesPerSec())
+}
+
+// activation groups page ops that share one cell activation: up to one op per
+// plane of a single die, merged by multi-plane command.
+type activation struct {
+	loc Location // channel+die; plane of the first op
+	ops []PageOp
+}
+
+// Submit executes all page operations of one host request, issued at 'at',
+// and returns the completion time of the request. Operations are scheduled
+// against the device's persistent channel/die timelines, so back-to-back
+// requests pipeline naturally.
+func (d *Device) Submit(at sim.Time, ops []PageOp) sim.Time {
+	if len(ops) == 0 {
+		return at
+	}
+	if !d.started || at < d.firstIssue {
+		if !d.started {
+			d.firstIssue = at
+		}
+		d.started = true
+	}
+
+	issue := at
+	if oh := d.link.RequestOverhead(); oh > 0 {
+		issue += oh
+		d.breakdown.NonOverlappedDMA += oh
+	}
+
+	groups := d.groupByDie(ops)
+	acts := d.mergePlanes(groups)
+
+	var (
+		end        sim.Time
+		channels   = make(map[int]bool)
+		diesPerCh  = make(map[int]map[int]bool)
+		multiplane bool
+	)
+	for _, a := range acts {
+		channels[a.loc.Channel] = true
+		if diesPerCh[a.loc.Channel] == nil {
+			diesPerCh[a.loc.Channel] = make(map[int]bool)
+		}
+		diesPerCh[a.loc.Channel][a.loc.Die] = true
+		if len(a.ops) > 1 {
+			multiplane = true
+		}
+		done := d.execActivation(issue, a)
+		end = sim.MaxTime(end, done)
+	}
+
+	interleave := false
+	for _, dset := range diesPerCh {
+		if len(dset) > 1 {
+			interleave = true
+			break
+		}
+	}
+	pal := PAL1
+	switch {
+	case interleave && multiplane:
+		pal = PAL4
+	case multiplane:
+		pal = PAL3
+	case interleave:
+		pal = PAL2
+	}
+	d.pal.Record(pal)
+	d.latency.record(end - at)
+
+	d.lastEnd = sim.MaxTime(d.lastEnd, end)
+	return end
+}
+
+// groupByDie buckets ops per (channel, die) in deterministic layout order.
+func (d *Device) groupByDie(ops []PageOp) [][]PageOp {
+	dpc := d.Geo.DiesPerChannel()
+	buckets := make([][]PageOp, d.Geo.Channels*dpc)
+	for _, op := range ops {
+		idx := op.Loc.Channel*dpc + op.Loc.Die
+		buckets[idx] = append(buckets[idx], op)
+	}
+	return buckets
+}
+
+// mergePlanes turns each die bucket into a sequence of activations, pairing
+// ops on distinct planes of the die into multi-plane activations when the
+// medium supports it and the ops share the same verb. The per-die sequences
+// are then interleaved round-robin (activation 0 of every die, then
+// activation 1, ...) so that shared resources — the channel buses and the
+// host link — are booked in approximate time order, the way the controller
+// actually dispatches work across dies.
+func (d *Device) mergePlanes(buckets [][]PageOp) []activation {
+	planes := d.Cell.Planes
+	perDie := make([][]activation, 0, len(buckets))
+	maxLen := 0
+	for _, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		var acts []activation
+		if planes <= 1 {
+			acts = make([]activation, 0, len(bucket))
+			for _, op := range bucket {
+				acts = append(acts, activation{loc: op.Loc, ops: []PageOp{op}})
+			}
+		} else {
+			// Queue per plane, preserving arrival order.
+			perPlane := make([][]PageOp, planes)
+			for _, op := range bucket {
+				p := op.Loc.Plane % planes
+				perPlane[p] = append(perPlane[p], op)
+			}
+			for {
+				var group []PageOp
+				var verb Op
+				for p := 0; p < planes; p++ {
+					if len(perPlane[p]) == 0 {
+						continue
+					}
+					head := perPlane[p][0]
+					if len(group) == 0 {
+						verb = head.Op
+					} else if head.Op != verb {
+						continue // different verb cannot share an activation
+					}
+					group = append(group, head)
+					perPlane[p] = perPlane[p][1:]
+				}
+				if len(group) == 0 {
+					break
+				}
+				acts = append(acts, activation{loc: group[0].Loc, ops: group})
+			}
+		}
+		perDie = append(perDie, acts)
+		if len(acts) > maxLen {
+			maxLen = len(acts)
+		}
+	}
+	var out []activation
+	for i := 0; i < maxLen; i++ {
+		for _, acts := range perDie {
+			if i < len(acts) {
+				out = append(out, acts[i])
+			}
+		}
+	}
+	return out
+}
+
+// markChan records channel busy time for the utilization probes.
+func (d *Device) markChan(c int, start, end sim.Time) {
+	d.chCover[c].Add(start, end)
+}
+
+// markDie records die busy time: the die's package is busy, and so is the
+// channel it hangs off (the "kept busy" union).
+func (d *Device) markDie(c, die int, start, end sim.Time) {
+	d.chCover[c].Add(start, end)
+	d.pkgCover[c][d.Geo.Package(die)].Add(start, end)
+}
+
+// chargeDieWait charges the wait [from, start) on a die to cell contention,
+// deduplicated against time already charged for that die.
+func (d *Device) chargeDieWait(c, die int, from, start sim.Time) {
+	mark := d.dieContMark[c][die]
+	if from < mark {
+		from = mark
+	}
+	if start > from {
+		d.breakdown.CellContention += start - from
+		d.dieContMark[c][die] = start
+	}
+}
+
+// chargeChanWait charges the wait [from, start) on a channel bus to channel
+// contention, deduplicated against time already charged for that channel.
+func (d *Device) chargeChanWait(c int, from, start sim.Time) {
+	mark := d.chContMark[c]
+	if from < mark {
+		from = mark
+	}
+	if start > from {
+		d.breakdown.ChannelContention += start - from
+		d.chContMark[c] = start
+	}
+}
+
+// execActivation schedules one cell activation (1..Planes page ops on a
+// single die) and returns its completion time, accumulating the six-state
+// breakdown along the way.
+func (d *Device) execActivation(issue sim.Time, a activation) sim.Time {
+	ch := &d.chanBus[a.loc.Channel]
+	die := &d.dies[a.loc.Channel][a.loc.Die]
+	cmd := d.Bus.CommandTime()
+	reg := d.regTime()
+	xfer := d.Bus.TransferTime(d.Cell.PageSize)
+
+	switch a.ops[0].Op {
+	case OpRead:
+		// Command/address cycles reach the die through the channel; they are
+		// a dozen bus clocks, so they are folded into the die's occupancy
+		// (booking 30 ns slots on the shared-bus horizon out of time order
+		// would spuriously serialize the dies).
+		d.breakdown.ChannelBus += cmd
+		// Sensing on the die (one tR regardless of merged plane count).
+		as, ae := die.Acquire(issue, cmd+d.Cell.ReadLatency)
+		d.chargeDieWait(a.loc.Channel, a.loc.Die, issue, as)
+		d.breakdown.CellActivation += d.Cell.ReadLatency
+		d.markDie(a.loc.Channel, a.loc.Die, as, ae)
+		// Per merged page: register staging then data-out then DMA. In cache
+		// mode the staging drains from the secondary register, leaving the
+		// die free to sense the next page immediately.
+		end := ae
+		cursor := ae
+		for range a.ops {
+			var rs, re sim.Time
+			if d.cacheMode {
+				rs, re = cursor, cursor+reg
+			} else {
+				rs, re = die.Acquire(cursor, reg)
+			}
+			d.breakdown.FlashBus += reg
+			d.markDie(a.loc.Channel, a.loc.Die, rs, re)
+			xs, xe := ch.Acquire(re, xfer)
+			d.chargeChanWait(a.loc.Channel, re, xs)
+			d.breakdown.ChannelBus += xfer
+			d.markChan(a.loc.Channel, xs, xe)
+			de := d.link.Transfer(xe, d.Cell.PageSize)
+			d.breakdown.NonOverlappedDMA += de - xe
+			cursor = re
+			end = sim.MaxTime(end, de)
+			d.bytesRead += d.Cell.PageSize
+			d.reads++
+		}
+		return end
+
+	case OpProgram:
+		// Host data lands in the controller first.
+		dmaEnd := issue
+		for range a.ops {
+			dmaEnd = d.link.Transfer(dmaEnd, d.Cell.PageSize)
+		}
+		d.breakdown.NonOverlappedDMA += dmaEnd - issue
+		// Command/address cycles are folded into the first data-in transfer
+		// (see the read path for why they do not book the bus horizon).
+		d.breakdown.ChannelBus += cmd
+		cursor := dmaEnd + cmd
+		for range a.ops {
+			xs, xe := ch.Acquire(cursor, xfer)
+			d.chargeChanWait(a.loc.Channel, cursor, xs)
+			d.breakdown.ChannelBus += xfer
+			d.markChan(a.loc.Channel, xs, xe)
+			rs, re := die.Acquire(xe, reg)
+			d.breakdown.FlashBus += reg
+			d.markDie(a.loc.Channel, a.loc.Die, rs, re)
+			cursor = xe
+			d.bytesWrit += d.Cell.PageSize
+			d.programs++
+		}
+		// One program covers all merged planes.
+		lat := d.Cell.ProgramLatency(d.rng)
+		ps, pe := die.Acquire(cursor, lat)
+		d.chargeDieWait(a.loc.Channel, a.loc.Die, cursor, ps)
+		d.breakdown.CellActivation += lat
+		d.markDie(a.loc.Channel, a.loc.Die, ps, pe)
+		return pe
+
+	case OpErase:
+		d.breakdown.ChannelBus += cmd
+		es, ee := die.Acquire(issue, cmd+d.Cell.EraseLatency)
+		d.chargeDieWait(a.loc.Channel, a.loc.Die, issue, es)
+		d.breakdown.CellActivation += d.Cell.EraseLatency
+		d.markDie(a.loc.Channel, a.loc.Die, es, ee)
+		for _, op := range a.ops {
+			d.erases++
+			key := Location{Channel: op.Loc.Channel, Die: op.Loc.Die, Plane: op.Loc.Plane}
+			d.eraseCount[key]++
+		}
+		return ee
+
+	default:
+		panic(fmt.Sprintf("nvm: unknown op %v", a.ops[0].Op))
+	}
+}

@@ -1,0 +1,102 @@
+package nvm
+
+import (
+	"testing"
+
+	"oocnvm/internal/sim"
+)
+
+func TestLatencyEmptyDevice(t *testing.T) {
+	d := newTestDevice(t, SLC, ONFi3SDR(), fastLink{})
+	st := d.Latency()
+	if st.Count != 0 || st.P50 != 0 || st.Max != 0 {
+		t.Fatalf("idle latency stats: %+v", st)
+	}
+}
+
+func TestLatencySingleRead(t *testing.T) {
+	d := newTestDevice(t, SLC, ONFi3SDR(), fastLink{})
+	end := d.Submit(0, []PageOp{readOp(0, d)})
+	st := d.Latency()
+	if st.Count != 1 {
+		t.Fatalf("count = %d", st.Count)
+	}
+	if st.Max != end {
+		t.Fatalf("max = %v, want %v", st.Max, end)
+	}
+	// P50 is a bucket upper bound: at least the true latency, within 2x.
+	if st.P50 < end || st.P50 > 2*end {
+		t.Fatalf("p50 = %v for true latency %v", st.P50, end)
+	}
+}
+
+func TestLatencyPercentilesOrdered(t *testing.T) {
+	d := newTestDevice(t, TLC, ONFi3SDR(), fastLink{})
+	// A mix of short (1-page) and long (contended) requests.
+	for i := 0; i < 50; i++ {
+		d.Submit(0, []PageOp{{Op: OpRead, Loc: Location{}}})
+	}
+	for i := 0; i < 5; i++ {
+		d.Submit(0, seqReadOps(d, 512))
+	}
+	st := d.Latency()
+	if st.Count != 55 {
+		t.Fatalf("count = %d", st.Count)
+	}
+	if !(st.P50 <= st.P95 && st.P95 <= st.P99 && st.P99 <= 2*st.Max) {
+		t.Fatalf("percentiles out of order: %+v", st)
+	}
+}
+
+func TestLatencyContentionInflatesDistribution(t *testing.T) {
+	// 100 reads queued on one die build a latency ramp: the median is many
+	// service times deep and the tail reaches the full queue length.
+	d := newTestDevice(t, TLC, ONFi3SDR(), fastLink{})
+	loc := Location{}
+	for i := 0; i < 100; i++ {
+		d.Submit(0, []PageOp{{Op: OpRead, Loc: loc}}) // all queue on one die
+	}
+	st := d.Latency()
+	single := d.Cell.ReadLatency
+	if st.P50 < 10*single {
+		t.Fatalf("p50 %v vs single read %v: contention should inflate the median", st.P50, single)
+	}
+	if st.Max < 90*single {
+		t.Fatalf("max %v vs single read %v: the last request waits the full queue", st.Max, single)
+	}
+	if st.P99 < st.P50 {
+		t.Fatal("percentiles inverted")
+	}
+}
+
+func TestCacheModeSpeedsUpCellLimitedReads(t *testing.T) {
+	run := func(cache bool) sim.Time {
+		d := newTestDevice(t, SLC, FutureDDR(), fastLink{})
+		if cache {
+			d.EnableCacheMode()
+		}
+		var end sim.Time
+		for i := 0; i < 8; i++ {
+			end = d.Submit(0, seqReadOps(d, 4096))
+		}
+		return end
+	}
+	plain := run(false)
+	cached := run(true)
+	if cached >= plain {
+		t.Fatalf("cache mode (%v) not faster than plain (%v) on a cell-limited stream", cached, plain)
+	}
+}
+
+func TestCacheModePreservesWorkAccounting(t *testing.T) {
+	d := newTestDevice(t, SLC, FutureDDR(), fastLink{})
+	d.EnableCacheMode()
+	d.Submit(0, seqReadOps(d, 256))
+	st := d.Stats()
+	if st.Reads != 256 || st.BytesRead != 256*d.Cell.PageSize {
+		t.Fatalf("cache mode lost work: %+v", st)
+	}
+	if st.Breakdown.FlashBus == 0 {
+		t.Fatal("register staging no longer accounted")
+	}
+}

@@ -1,0 +1,237 @@
+package ooc
+
+import (
+	"math"
+	"testing"
+
+	"oocnvm/internal/linalg"
+	"oocnvm/internal/trace"
+)
+
+func testGraph(t *testing.T, n int) *linalg.CSR {
+	t.Helper()
+	g, err := RandomGraph(GraphConfig{Nodes: n, AvgDegree: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRandomGraphValidation(t *testing.T) {
+	if _, err := RandomGraph(GraphConfig{Nodes: 0}); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+	if _, err := RandomGraph(GraphConfig{Nodes: 5, AvgDegree: -1}); err == nil {
+		t.Fatal("negative degree accepted")
+	}
+}
+
+func TestRandomGraphStructure(t *testing.T) {
+	g := testGraph(t, 100)
+	// 0/1 entries only.
+	for _, v := range g.Val {
+		if v != 1 {
+			t.Fatalf("non-binary adjacency value %v", v)
+		}
+	}
+	// The ring guarantees every node has at least one out-edge.
+	for u := 0; u < g.N; u++ {
+		if g.RowPtr[u+1] == g.RowPtr[u] {
+			t.Fatalf("node %d has no out-edges; ring missing", u)
+		}
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g := testGraph(t, 200)
+	res, err := PageRank(g, &Recorder{}, 50, 0.85, 1e-12, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("no convergence in %d iterations", res.Iterations)
+	}
+	var sum float64
+	for _, r := range res.Ranks {
+		if r <= 0 {
+			t.Fatal("non-positive rank")
+		}
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("ranks sum to %v", sum)
+	}
+}
+
+func TestPageRankMatchesDenseReference(t *testing.T) {
+	g := testGraph(t, 120)
+	res, err := PageRank(g, &Recorder{}, 30, 0.85, 1e-13, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dense reference: iterate the full Google matrix in memory.
+	n := g.N
+	m, dangling, err := transition(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = 1 / float64(n)
+	}
+	dm := m.Dense()
+	for it := 0; it < 500; it++ {
+		var dang float64
+		for i, d := range dangling {
+			if d {
+				dang += r[i]
+			}
+		}
+		next := make([]float64, n)
+		for i := 0; i < n; i++ {
+			var s float64
+			for j := 0; j < n; j++ {
+				s += dm.At(i, j) * r[j]
+			}
+			next[i] = (1-0.85)/float64(n) + 0.85*(s+dang/float64(n))
+		}
+		r = next
+	}
+	for i := range r {
+		if math.Abs(r[i]-res.Ranks[i]) > 1e-8 {
+			t.Fatalf("rank[%d] = %v, dense ref %v", i, res.Ranks[i], r[i])
+		}
+	}
+}
+
+func TestPageRankUniformOnRing(t *testing.T) {
+	// A pure ring is perfectly symmetric: every rank must equal 1/n.
+	g, err := RandomGraph(GraphConfig{Nodes: 64, AvgDegree: 0, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PageRank(g, &Recorder{}, 16, 0.85, 1e-13, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Ranks {
+		if math.Abs(r-1.0/64) > 1e-10 {
+			t.Fatalf("ring rank %v, want uniform %v", r, 1.0/64)
+		}
+	}
+}
+
+func TestPageRankIOPattern(t *testing.T) {
+	g := testGraph(t, 150)
+	rec := &Recorder{}
+	res, err := PageRank(g, rec, 50, 0.85, 1e-10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One full sequential panel sweep per iteration.
+	m, _, _ := transition(g)
+	store, _ := NewMatrixStore(m, 50, &Recorder{})
+	if len(rec.Ops) != res.Iterations*store.Panels() {
+		t.Fatalf("%d reads for %d iterations x %d panels", len(rec.Ops), res.Iterations, store.Panels())
+	}
+	for _, op := range rec.Ops {
+		if op.Kind != trace.Read {
+			t.Fatal("PageRank issued writes")
+		}
+	}
+}
+
+func TestPageRankValidation(t *testing.T) {
+	g := testGraph(t, 20)
+	if _, err := PageRank(g, &Recorder{}, 10, 0, 1e-9, 10); err == nil {
+		t.Fatal("damping 0 accepted")
+	}
+	if _, err := PageRank(g, &Recorder{}, 10, 1, 1e-9, 10); err == nil {
+		t.Fatal("damping 1 accepted")
+	}
+}
+
+func inMemoryBFS(g *linalg.CSR, src int) []int {
+	levels := make([]int, g.N)
+	for i := range levels {
+		levels[i] = -1
+	}
+	levels[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for p := g.RowPtr[u]; p < g.RowPtr[u+1]; p++ {
+			v := int(g.Col[p])
+			if levels[v] == -1 {
+				levels[v] = levels[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return levels
+}
+
+func TestBFSMatchesInMemory(t *testing.T) {
+	g := testGraph(t, 300)
+	res, err := BFS(g, &Recorder{}, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := inMemoryBFS(g, 7)
+	for i := range want {
+		if res.Levels[i] != want[i] {
+			t.Fatalf("level[%d] = %d, want %d", i, res.Levels[i], want[i])
+		}
+	}
+	if res.Visited != g.N { // ring makes everything reachable
+		t.Fatalf("visited %d of %d", res.Visited, g.N)
+	}
+}
+
+func TestBFSSweepPerLevel(t *testing.T) {
+	g := testGraph(t, 200)
+	rec := &Recorder{}
+	res, err := BFS(g, rec, 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, _ := NewMatrixStore(g, 50, &Recorder{})
+	// One full adjacency scan per completed level (incl. the final empty
+	// frontier check happens within the last sweep).
+	if len(rec.Ops) != res.Sweeps*store.Panels() {
+		t.Fatalf("%d reads for %d sweeps x %d panels", len(rec.Ops), res.Sweeps, store.Panels())
+	}
+	if res.Depth <= 0 || res.Sweeps < res.Depth {
+		t.Fatalf("depth %d, sweeps %d", res.Depth, res.Sweeps)
+	}
+}
+
+func TestBFSSourceValidation(t *testing.T) {
+	g := testGraph(t, 10)
+	if _, err := BFS(g, &Recorder{}, 5, -1); err == nil {
+		t.Fatal("negative source accepted")
+	}
+	if _, err := BFS(g, &Recorder{}, 5, 10); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	// Two disjoint... the ring connects everything, so build a tiny custom
+	// graph: 0->1, 2 isolated (self edges only via assembly? none).
+	adj, err := linalg.NewCSR(3, []linalg.Triplet{{Row: 0, Col: 1, Val: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BFS(adj, &Recorder{}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Levels[0] != 0 || res.Levels[1] != 1 || res.Levels[2] != -1 {
+		t.Fatalf("levels = %v", res.Levels)
+	}
+	if res.Visited != 2 {
+		t.Fatalf("visited = %d", res.Visited)
+	}
+}

@@ -1,0 +1,272 @@
+package ooc
+
+import (
+	"math"
+	"testing"
+
+	"oocnvm/internal/linalg"
+	"oocnvm/internal/sim"
+	"oocnvm/internal/trace"
+)
+
+func TestHamiltonianValidation(t *testing.T) {
+	if _, err := Hamiltonian(HamiltonianConfig{N: 0}); err == nil {
+		t.Fatal("zero order accepted")
+	}
+	if _, err := Hamiltonian(HamiltonianConfig{N: 10, Band: -1}); err == nil {
+		t.Fatal("negative band accepted")
+	}
+}
+
+func TestHamiltonianSymmetric(t *testing.T) {
+	h, err := Hamiltonian(DefaultHamiltonian(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.IsSymmetric(1e-12) {
+		t.Fatal("Hamiltonian not symmetric")
+	}
+}
+
+func TestHamiltonianSparse(t *testing.T) {
+	n := 500
+	h, err := Hamiltonian(DefaultHamiltonian(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	density := float64(h.NNZ()) / float64(n*n)
+	if density > 0.1 {
+		t.Fatalf("density %.3f; CI Hamiltonians are sparse", density)
+	}
+	if h.NNZ() < int64(n) {
+		t.Fatal("missing diagonal")
+	}
+}
+
+func TestHamiltonianDeterministic(t *testing.T) {
+	a, _ := Hamiltonian(DefaultHamiltonian(100))
+	b, _ := Hamiltonian(DefaultHamiltonian(100))
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("structure differs")
+	}
+	for i := range a.Val {
+		if a.Val[i] != b.Val[i] {
+			t.Fatal("values differ")
+		}
+	}
+}
+
+func TestRecorderCaptures(t *testing.T) {
+	var r Recorder
+	r.ReadAt(0, 100)
+	r.WriteAt(50, 25)
+	if len(r.Ops) != 2 {
+		t.Fatal("ops missing")
+	}
+	if r.Ops[0] != (trace.PosixOp{Kind: trace.Read, Offset: 0, Size: 100}) {
+		t.Fatalf("read op = %+v", r.Ops[0])
+	}
+	if r.Ops[1] != (trace.PosixOp{Kind: trace.Write, Offset: 50, Size: 25}) {
+		t.Fatalf("write op = %+v", r.Ops[1])
+	}
+}
+
+func TestTeeFansOut(t *testing.T) {
+	var a, b Recorder
+	tee := Tee{&a, &b}
+	tee.ReadAt(1, 2)
+	tee.WriteAt(3, 4)
+	if len(a.Ops) != 2 || len(b.Ops) != 2 {
+		t.Fatal("tee did not fan out")
+	}
+}
+
+func TestMatrixStoreValidation(t *testing.T) {
+	h, _ := Hamiltonian(DefaultHamiltonian(50))
+	if _, err := NewMatrixStore(h, 0, &Recorder{}); err == nil {
+		t.Fatal("zero panelRows accepted")
+	}
+	if _, err := NewMatrixStore(h, 10, nil); err == nil {
+		t.Fatal("nil storage accepted")
+	}
+}
+
+func TestMatrixStoreLayout(t *testing.T) {
+	h, _ := Hamiltonian(DefaultHamiltonian(100))
+	s, err := NewMatrixStore(h, 30, &Recorder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Panels() != 4 { // 30+30+30+10
+		t.Fatalf("panels = %d, want 4", s.Panels())
+	}
+	if s.Dim() != 100 {
+		t.Fatal("dim wrong")
+	}
+	// Panels are laid out back to back.
+	var expect int64
+	for i := 0; i < s.Panels(); i++ {
+		off, size := s.PanelSpan(i)
+		if off != expect {
+			t.Fatalf("panel %d at %d, want %d", i, off, expect)
+		}
+		expect += size
+	}
+	if s.Bytes() != expect {
+		t.Fatalf("total bytes %d != %d", s.Bytes(), expect)
+	}
+}
+
+func TestMatrixStoreApplyMatchesDirect(t *testing.T) {
+	h, _ := Hamiltonian(DefaultHamiltonian(120))
+	s, err := NewMatrixStore(h, 25, &Recorder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(1)
+	x := linalg.NewMatrix(120, 3)
+	for i := range x.Data {
+		x.Data[i] = rng.Float64() - 0.5
+	}
+	got := s.Apply(x)
+	want := h.Mul(x)
+	for i := range want.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > 1e-12 {
+			t.Fatal("out-of-core Apply diverges from in-memory multiply")
+		}
+	}
+}
+
+func TestMatrixStoreEmitsSequentialPanelReads(t *testing.T) {
+	h, _ := Hamiltonian(DefaultHamiltonian(100))
+	rec := &Recorder{}
+	s, _ := NewMatrixStore(h, 20, rec)
+	x := linalg.NewMatrix(100, 2)
+	s.Apply(x)
+	if len(rec.Ops) != s.Panels() {
+		t.Fatalf("%d reads for %d panels", len(rec.Ops), s.Panels())
+	}
+	var cursor int64
+	for i, op := range rec.Ops {
+		if op.Kind != trace.Read {
+			t.Fatal("non-read op in Apply")
+		}
+		if op.Offset != cursor {
+			t.Fatalf("panel %d read at %d, want sequential %d", i, op.Offset, cursor)
+		}
+		cursor += op.Size
+	}
+}
+
+// TestSolverTraceMatchesWorkload pins the synthetic workload generator to
+// the real solver's I/O: same request count, sizes, and per-application
+// sequential pattern.
+func TestSolverTraceMatchesWorkload(t *testing.T) {
+	n := 90
+	h, _ := Hamiltonian(DefaultHamiltonian(n))
+	rec := &Recorder{}
+	store, _ := NewMatrixStore(h, 30, rec)
+	res, err := linalg.LOBPCG(store, linalg.LOBPCGOptions{K: 3, MaxIter: 40, Tol: 1e-6, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LOBPCG applies the operator twice per iteration after the first
+	// (A·X and A·S); the first iteration also applies twice.
+	apps := len(rec.Ops) / store.Panels()
+	if apps < 2 {
+		t.Fatalf("only %d applications recorded", apps)
+	}
+	if len(rec.Ops)%store.Panels() != 0 {
+		t.Fatalf("%d ops is not a whole number of panel sweeps", len(rec.Ops))
+	}
+	_ = res
+	// Check the generator emits the identical pattern for one application.
+	first, err := (Workload{
+		MatrixBytes:  store.Bytes(),
+		PanelBytes:   maxPanelBytes(store),
+		Applications: 1,
+	}).PosixTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same number of reads per sweep and same start/total.
+	if len(first) != store.Panels() {
+		t.Fatalf("generator emits %d ops per sweep, solver %d", len(first), store.Panels())
+	}
+	var genBytes, realBytes int64
+	for _, op := range first {
+		genBytes += op.Size
+	}
+	for _, op := range rec.Ops[:store.Panels()] {
+		realBytes += op.Size
+	}
+	if genBytes != realBytes {
+		t.Fatalf("generator sweep %d bytes, solver sweep %d bytes", genBytes, realBytes)
+	}
+}
+
+func maxPanelBytes(s *MatrixStore) int64 {
+	var m int64
+	for i := 0; i < s.Panels(); i++ {
+		if _, size := s.PanelSpan(i); size > m {
+			m = size
+		}
+	}
+	return m
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	if err := (Workload{}).Validate(); err == nil {
+		t.Fatal("zero workload accepted")
+	}
+	w := DefaultWorkload()
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w.PanelBytes = w.MatrixBytes * 2
+	if err := w.Validate(); err == nil {
+		t.Fatal("panel > matrix accepted")
+	}
+}
+
+func TestWorkloadTraceShape(t *testing.T) {
+	w := Workload{MatrixBytes: 20 << 20, PanelBytes: 8 << 20, Applications: 2}
+	ops, err := w.PosixTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per application: 8 + 8 + 4 MiB panels.
+	if len(ops) != 6 {
+		t.Fatalf("ops = %d, want 6", len(ops))
+	}
+	var total int64
+	for _, op := range ops {
+		if op.Kind != trace.Read {
+			t.Fatal("pure read workload expected")
+		}
+		total += op.Size
+	}
+	if total != w.TotalBytes() {
+		t.Fatalf("trace bytes %d != TotalBytes %d", total, w.TotalBytes())
+	}
+}
+
+func TestWorkloadPsiWrites(t *testing.T) {
+	w := Workload{MatrixBytes: 16 << 20, PanelBytes: 8 << 20, Applications: 4, PsiBytes: 1 << 20}
+	ops, _ := w.PosixTrace()
+	writes := 0
+	for _, op := range ops {
+		if op.Kind == trace.Write {
+			writes++
+			if op.Offset < w.MatrixBytes {
+				t.Fatal("Psi checkpoint overlaps the matrix region")
+			}
+		}
+	}
+	if writes != 2 { // one per application pair
+		t.Fatalf("writes = %d, want 2", writes)
+	}
+	if w.TotalBytes() != 4*(16<<20)+2*(1<<20) {
+		t.Fatalf("TotalBytes = %d", w.TotalBytes())
+	}
+}

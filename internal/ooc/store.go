@@ -1,0 +1,113 @@
+package ooc
+
+import (
+	"fmt"
+
+	"oocnvm/internal/linalg"
+	"oocnvm/internal/trace"
+)
+
+// Storage is the client interface the out-of-core store issues its I/O
+// through: a POSIX-style byte range in the dataset's file address space.
+// Implementations record traces, drive the simulated stack, or both.
+type Storage interface {
+	ReadAt(offset, size int64)
+	WriteAt(offset, size int64)
+}
+
+// Recorder captures the POSIX-level trace of everything issued through it,
+// exactly like the paper's tracing "directly under the application but prior
+// to reaching GPFS" (§4.2).
+type Recorder struct {
+	Ops []trace.PosixOp
+}
+
+// ReadAt records a read.
+func (r *Recorder) ReadAt(offset, size int64) {
+	r.Ops = append(r.Ops, trace.PosixOp{Kind: trace.Read, Offset: offset, Size: size})
+}
+
+// WriteAt records a write.
+func (r *Recorder) WriteAt(offset, size int64) {
+	r.Ops = append(r.Ops, trace.PosixOp{Kind: trace.Write, Offset: offset, Size: size})
+}
+
+// Tee fans one storage client out to several (e.g. record and simulate).
+type Tee []Storage
+
+// ReadAt forwards to every sink.
+func (t Tee) ReadAt(offset, size int64) {
+	for _, s := range t {
+		s.ReadAt(offset, size)
+	}
+}
+
+// WriteAt forwards to every sink.
+func (t Tee) WriteAt(offset, size int64) {
+	for _, s := range t {
+		s.WriteAt(offset, size)
+	}
+}
+
+// MatrixStore holds a Hamiltonian partitioned into row panels laid out
+// back-to-back in a file address space. Every Apply streams all panels
+// through the Storage client — the access pattern of the paper's workload.
+type MatrixStore struct {
+	n       int
+	panels  []linalg.RowPanel
+	offsets []int64 // file offset of each panel
+	total   int64   // file footprint
+	storage Storage
+}
+
+// NewMatrixStore partitions h into panels of panelRows rows.
+func NewMatrixStore(h *linalg.CSR, panelRows int, storage Storage) (*MatrixStore, error) {
+	if panelRows <= 0 {
+		return nil, fmt.Errorf("ooc: panelRows must be positive, got %d", panelRows)
+	}
+	if storage == nil {
+		return nil, fmt.Errorf("ooc: storage client required")
+	}
+	s := &MatrixStore{n: h.N, storage: storage}
+	var off int64
+	for lo := 0; lo < h.N; lo += panelRows {
+		hi := lo + panelRows
+		if hi > h.N {
+			hi = h.N
+		}
+		p := h.Panel(lo, hi)
+		s.panels = append(s.panels, p)
+		s.offsets = append(s.offsets, off)
+		off += p.BytesOnDisk()
+	}
+	s.total = off
+	return s, nil
+}
+
+// Dim returns the operator order.
+func (s *MatrixStore) Dim() int { return s.n }
+
+// Bytes returns the on-storage footprint of the matrix.
+func (s *MatrixStore) Bytes() int64 { return s.total }
+
+// Panels returns the panel count.
+func (s *MatrixStore) Panels() int { return len(s.panels) }
+
+// PanelSpan reports panel i's file offset and serialized size, for preload
+// planning and tests.
+func (s *MatrixStore) PanelSpan(i int) (offset, size int64) {
+	return s.offsets[i], s.panels[i].BytesOnDisk()
+}
+
+// Apply computes H·X, reading every panel through the storage client before
+// multiplying it — one large sequential read per panel, in panel order.
+func (s *MatrixStore) Apply(x *linalg.Matrix) *linalg.Matrix {
+	y := linalg.NewMatrix(s.n, x.Cols)
+	for i, p := range s.panels {
+		s.storage.ReadAt(s.offsets[i], p.BytesOnDisk())
+		p.MulInto(x, y)
+	}
+	return y
+}
+
+var _ linalg.Operator = (*MatrixStore)(nil)

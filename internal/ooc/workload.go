@@ -1,0 +1,79 @@
+package ooc
+
+import (
+	"fmt"
+
+	"oocnvm/internal/trace"
+)
+
+// Workload describes the I/O shape of the out-of-core eigensolver at
+// evaluation scale, without carrying the numerics along: per operator
+// application, every row panel of H is read sequentially; LOBPCG applies the
+// operator to both the iterate block and the trial subspace each iteration.
+// A small test (TestSolverTraceMatchesWorkload) pins this generator to the
+// trace the real solver in this package emits.
+type Workload struct {
+	// MatrixBytes is H's on-storage footprint.
+	MatrixBytes int64
+	// PanelBytes is the read granularity (one row panel).
+	PanelBytes int64
+	// Applications is the number of operator applications (2 per LOBPCG
+	// iteration: A·X and A·S).
+	Applications int
+	// PsiBytes, when positive, writes a Ψ checkpoint of this size after each
+	// application pair, beyond the matrix region. Most OoC runs are purely
+	// read-intensive (§3.1), so the default workload leaves this zero.
+	PsiBytes int64
+}
+
+// DefaultWorkload is the evaluation-scale workload driving every figure:
+// a 512 MiB Hamiltonian read in 8 MiB panels, four operator applications
+// (two LOBPCG iterations).
+func DefaultWorkload() Workload {
+	return Workload{
+		MatrixBytes:  512 << 20,
+		PanelBytes:   8 << 20,
+		Applications: 4,
+	}
+}
+
+// Validate reports impossible workloads.
+func (w Workload) Validate() error {
+	if w.MatrixBytes <= 0 || w.PanelBytes <= 0 || w.Applications <= 0 {
+		return fmt.Errorf("ooc: workload fields must be positive: %+v", w)
+	}
+	if w.PanelBytes > w.MatrixBytes {
+		return fmt.Errorf("ooc: panel %d larger than matrix %d", w.PanelBytes, w.MatrixBytes)
+	}
+	return nil
+}
+
+// TotalBytes returns the data volume the workload moves.
+func (w Workload) TotalBytes() int64 {
+	n := w.MatrixBytes * int64(w.Applications)
+	if w.PsiBytes > 0 {
+		n += w.PsiBytes * int64(w.Applications/2)
+	}
+	return n
+}
+
+// PosixTrace generates the application-level trace.
+func (w Workload) PosixTrace() ([]trace.PosixOp, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	var ops []trace.PosixOp
+	for app := 0; app < w.Applications; app++ {
+		for off := int64(0); off < w.MatrixBytes; off += w.PanelBytes {
+			size := w.PanelBytes
+			if off+size > w.MatrixBytes {
+				size = w.MatrixBytes - off
+			}
+			ops = append(ops, trace.PosixOp{Kind: trace.Read, Offset: off, Size: size})
+		}
+		if w.PsiBytes > 0 && app%2 == 1 {
+			ops = append(ops, trace.PosixOp{Kind: trace.Write, Offset: w.MatrixBytes, Size: w.PsiBytes})
+		}
+	}
+	return ops, nil
+}

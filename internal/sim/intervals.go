@@ -1,0 +1,85 @@
+package sim
+
+import "sort"
+
+// IntervalSet accumulates possibly-overlapping busy intervals and reports
+// the total covered time — the "kept busy" union the paper's channel- and
+// package-level utilization probes measure. Appends that touch the most
+// recent interval are coalesced immediately; the rest are merged lazily.
+type IntervalSet struct {
+	spans  []span
+	sorted bool
+}
+
+type span struct{ start, end Time }
+
+// Add records a busy interval. Zero- or negative-length intervals are
+// ignored.
+func (s *IntervalSet) Add(start, end Time) {
+	if end <= start {
+		return
+	}
+	if n := len(s.spans); n > 0 {
+		last := &s.spans[n-1]
+		if start <= last.end && end >= last.start {
+			if start < last.start {
+				last.start = start
+				s.sorted = false
+			}
+			if end > last.end {
+				last.end = end
+			}
+			return
+		}
+		if start < last.end {
+			s.sorted = false
+		}
+	}
+	s.spans = append(s.spans, span{start, end})
+}
+
+// Covered returns the total length of the union of all intervals.
+func (s *IntervalSet) Covered() Time {
+	if len(s.spans) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Slice(s.spans, func(i, j int) bool { return s.spans[i].start < s.spans[j].start })
+		merged := s.spans[:1]
+		for _, sp := range s.spans[1:] {
+			last := &merged[len(merged)-1]
+			if sp.start <= last.end {
+				if sp.end > last.end {
+					last.end = sp.end
+				}
+				continue
+			}
+			merged = append(merged, sp)
+		}
+		s.spans = merged
+		s.sorted = true
+	}
+	var total Time
+	for _, sp := range s.spans {
+		total += sp.end - sp.start
+	}
+	return total
+}
+
+// Utilization returns covered time over the span, clamped to [0, 1].
+func (s *IntervalSet) Utilization(spanLen Time) float64 {
+	if spanLen <= 0 {
+		return 0
+	}
+	u := float64(s.Covered()) / float64(spanLen)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Reset empties the set.
+func (s *IntervalSet) Reset() { s.spans = s.spans[:0]; s.sorted = false }
+
+// Len reports the current (possibly unmerged) interval count, for tests.
+func (s *IntervalSet) Len() int { return len(s.spans) }

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Second != 1000*Millisecond || Millisecond != 1000*Microsecond ||
+		Microsecond != 1000*Nanosecond || Nanosecond != 1000*Picosecond {
+		t.Fatal("time unit ladder broken")
+	}
+}
+
+func TestTimeSeconds(t *testing.T) {
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Fatalf("Seconds() = %v, want 2", got)
+	}
+	if got := (500 * Millisecond).Seconds(); got != 0.5 {
+		t.Fatalf("Seconds() = %v, want 0.5", got)
+	}
+}
+
+func TestTimeMicros(t *testing.T) {
+	if got := (25 * Microsecond).Micros(); got != 25 {
+		t.Fatalf("Micros() = %v, want 25", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{2 * Nanosecond, "2.00ns"},
+		{25 * Microsecond, "25.00us"},
+		{3 * Millisecond, "3.00ms"},
+		{2 * Second, "2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestDurationForBytes(t *testing.T) {
+	// 1000 bytes at 1000 B/s is one second.
+	if got := DurationForBytes(1000, 1000); got != Second {
+		t.Fatalf("DurationForBytes = %v, want 1s", got)
+	}
+	// 400 MB/s moving one 2 KiB page: 5.12 us.
+	got := DurationForBytes(2048, 400e6)
+	want := Time(5.12 * float64(Microsecond))
+	if got < want-Nanosecond || got > want+Nanosecond {
+		t.Fatalf("DurationForBytes(2048, 400e6) = %v, want ~%v", got, want)
+	}
+}
+
+func TestDurationForBytesDegenerate(t *testing.T) {
+	if DurationForBytes(100, 0) != 0 {
+		t.Error("zero rate should be instantaneous (infinitely fast link)")
+	}
+	if DurationForBytes(0, 100) != 0 {
+		t.Error("zero bytes should take zero time")
+	}
+	if DurationForBytes(-5, 100) != 0 {
+		t.Error("negative bytes should take zero time")
+	}
+}
+
+func TestRateRoundTrip(t *testing.T) {
+	f := func(kb uint16, mbps uint16) bool {
+		bytes := int64(kb)*1024 + 1
+		rate := float64(mbps)*1e6 + 1e5
+		d := DurationForBytes(bytes, rate)
+		back := Rate(bytes, d)
+		return math.Abs(back-rate)/rate < 1e-3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRateZeroElapsed(t *testing.T) {
+	if Rate(100, 0) != 0 {
+		t.Fatal("rate over zero time must be 0, not +Inf")
+	}
+}
+
+func TestMaxMinTime(t *testing.T) {
+	if MaxTime(1, 2) != 2 || MaxTime(2, 1) != 2 {
+		t.Error("MaxTime wrong")
+	}
+	if MinTime(1, 2) != 1 || MinTime(2, 1) != 1 {
+		t.Error("MinTime wrong")
+	}
+}

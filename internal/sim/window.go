@@ -1,0 +1,96 @@
+package sim
+
+import "container/heap"
+
+// Window models the host's bounded set of in-flight operations. Two limits
+// apply simultaneously:
+//
+//   - Depth, the queue-entry limit (NCQ slots, driver tags); and
+//   - MaxBytes, the in-flight byte limit — for a synchronous POSIX reader
+//     this is the kernel's readahead window, the knob the paper's "ext4-L"
+//     configuration turns up.
+//
+// A new operation may only issue once both limits hold. Completion times are
+// tracked in a min-heap so admission order is by earliest completion,
+// independent of issue order.
+type Window struct {
+	depth    int
+	maxBytes int64
+	bytes    int64
+	heap     opHeap
+}
+
+// NewWindow returns a window admitting up to depth concurrent operations and
+// (when maxBytes > 0) at most maxBytes of outstanding data. A depth <= 0 is
+// treated as depth 1 (fully synchronous).
+func NewWindow(depth int, maxBytes int64) *Window {
+	if depth <= 0 {
+		depth = 1
+	}
+	return &Window{depth: depth, maxBytes: maxBytes}
+}
+
+// Depth reports the configured queue depth.
+func (w *Window) Depth() int { return w.depth }
+
+// MaxBytes reports the configured in-flight byte limit (0 = unlimited).
+func (w *Window) MaxBytes() int64 { return w.maxBytes }
+
+// InFlight reports how many admitted operations have not yet been retired.
+// (Operations are retired lazily, as Admit waits for room.)
+func (w *Window) InFlight() int { return len(w.heap) }
+
+// Admit returns the earliest time an operation of `size` bytes arriving at
+// 'at' may issue. Call Complete exactly once per Admit. An operation larger
+// than MaxBytes issues alone (when the window is otherwise empty).
+func (w *Window) Admit(at Time, size int64) Time {
+	t := at
+	for len(w.heap) > 0 &&
+		(len(w.heap) >= w.depth ||
+			(w.maxBytes > 0 && w.bytes+size > w.maxBytes)) {
+		op := heap.Pop(&w.heap).(inflightOp)
+		w.bytes -= op.size
+		t = MaxTime(t, op.end)
+	}
+	w.bytes += size
+	return t
+}
+
+// Complete records the completion time of the most recently admitted
+// operation. The size must match the Admit call.
+func (w *Window) Complete(end Time, size int64) {
+	heap.Push(&w.heap, inflightOp{end: end, size: size})
+}
+
+// Drain returns the completion time of the last operation to finish and
+// empties the window.
+func (w *Window) Drain() Time {
+	var last Time
+	for len(w.heap) > 0 {
+		last = MaxTime(last, heap.Pop(&w.heap).(inflightOp).end)
+	}
+	w.bytes = 0
+	return last
+}
+
+// Reset empties the window without reporting a drain time.
+func (w *Window) Reset() { w.heap = w.heap[:0]; w.bytes = 0 }
+
+type inflightOp struct {
+	end  Time
+	size int64
+}
+
+type opHeap []inflightOp
+
+func (h opHeap) Len() int            { return len(h) }
+func (h opHeap) Less(i, j int) bool  { return h[i].end < h[j].end }
+func (h opHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *opHeap) Push(x interface{}) { *h = append(*h, x.(inflightOp)) }
+func (h *opHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,212 @@
+// Package ssd assembles a complete solid-state drive from the substrate
+// packages: an nvm.Device (channels, dies, cell timings), a translation
+// layer (the conventional FTL or UFS's direct mapping), a host queue of
+// bounded depth, and the host-side link. Its Replay method drives a captured
+// block trace through the stack and reports the measurements the paper's
+// evaluation charts are built from.
+package ssd
+
+import (
+	"fmt"
+
+	"oocnvm/internal/nvm"
+	"oocnvm/internal/sim"
+	"oocnvm/internal/trace"
+)
+
+// Translator maps byte-addressed block operations to NVM page operations.
+type Translator interface {
+	Read(offset, size int64) []nvm.PageOp
+	Write(offset, size int64) []nvm.PageOp
+	Erase(offset, size int64) []nvm.PageOp
+	PageSize() int64
+	CapacityBytes() int64
+}
+
+// Direct is UFS's translation: identity page-striped mapping with no
+// remapping layer at all. The host (UFS) is responsible for erase-before-
+// write; the device executes exactly what it is told.
+type Direct struct {
+	Geo  nvm.Geometry
+	Cell nvm.CellParams
+}
+
+// PageSize returns the interface page size.
+func (d Direct) PageSize() int64 { return d.Cell.PageSize }
+
+// CapacityBytes returns the raw capacity.
+func (d Direct) CapacityBytes() int64 { return d.Geo.Capacity(d.Cell) }
+
+func (d Direct) pages() int64 { return d.Geo.Pages(d.Cell) }
+
+func (d Direct) mapRange(op nvm.Op, offset, size int64) []nvm.PageOp {
+	if size <= 0 {
+		return nil
+	}
+	first := offset / d.Cell.PageSize
+	last := (offset + size - 1) / d.Cell.PageSize
+	total := d.pages()
+	ops := make([]nvm.PageOp, 0, last-first+1)
+	for lpn := first; lpn <= last; lpn++ {
+		ops = append(ops, nvm.PageOp{Op: op, Loc: d.Geo.MapLogical(lpn%total, d.Cell.Planes)})
+	}
+	return ops
+}
+
+// Read maps a read through identity striping.
+func (d Direct) Read(offset, size int64) []nvm.PageOp {
+	return d.mapRange(nvm.OpRead, offset, size)
+}
+
+// Write maps a write through identity striping.
+func (d Direct) Write(offset, size int64) []nvm.PageOp {
+	return d.mapRange(nvm.OpProgram, offset, size)
+}
+
+// Erase issues one block erase per eraseblock overlapping the range.
+func (d Direct) Erase(offset, size int64) []nvm.PageOp {
+	if size <= 0 {
+		size = d.Cell.BlockSize()
+	}
+	total := d.pages()
+	blockBytes := d.Cell.BlockSize()
+	first := offset / blockBytes
+	last := (offset + size - 1) / blockBytes
+	ops := make([]nvm.PageOp, 0, last-first+1)
+	for b := first; b <= last; b++ {
+		// Identify the die-plane owning this block via its first page.
+		lpn := (b * int64(d.Cell.PagesPerBlock)) % total
+		ops = append(ops, nvm.PageOp{Op: nvm.OpErase, Loc: d.Geo.MapLogical(lpn, d.Cell.Planes)})
+	}
+	return ops
+}
+
+// Config assembles an SSD.
+type Config struct {
+	Geometry   nvm.Geometry
+	Cell       nvm.CellParams
+	Bus        nvm.BusParams
+	Link       nvm.Link
+	Translator Translator
+	// QueueDepth bounds concurrently outstanding block requests (NCQ-style).
+	QueueDepth int
+	// WindowBytes bounds in-flight data (the host readahead window). Zero
+	// means unlimited (bounded by QueueDepth only).
+	WindowBytes int64
+	// HostOverhead is the host CPU cost of issuing one block request
+	// (syscall, block-layer, driver).
+	HostOverhead sim.Time
+	// CacheMode enables the dies' dual-register cache operation.
+	CacheMode bool
+	Seed      uint64
+}
+
+// DefaultQueueDepth is the native command queue depth used throughout the
+// evaluation.
+const DefaultQueueDepth = 32
+
+// DefaultHostOverhead is the per-request host software cost.
+const DefaultHostOverhead = 3 * sim.Microsecond
+
+// SSD is a drivable solid-state drive model.
+type SSD struct {
+	Dev   *nvm.Device
+	trans Translator
+
+	win          *sim.Window
+	hostOverhead sim.Time
+	clock        sim.Time
+	dataBytes    int64
+}
+
+// New builds an SSD from the configuration.
+func New(cfg Config) (*SSD, error) {
+	if cfg.Translator == nil {
+		return nil, fmt.Errorf("ssd: config requires a Translator")
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.HostOverhead == 0 {
+		cfg.HostOverhead = DefaultHostOverhead
+	}
+	dev, err := nvm.NewDevice(cfg.Geometry, cfg.Cell, cfg.Bus, cfg.Link, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CacheMode {
+		dev.EnableCacheMode()
+	}
+	return &SSD{
+		Dev:          dev,
+		trans:        cfg.Translator,
+		win:          sim.NewWindow(cfg.QueueDepth, cfg.WindowBytes),
+		hostOverhead: cfg.HostOverhead,
+	}, nil
+}
+
+// Result captures one replay's measurements.
+type Result struct {
+	Elapsed   sim.Time
+	DataBytes int64
+	// Bandwidth is the application-visible rate: data bytes (metadata and
+	// journal excluded) over elapsed time, in bytes/second.
+	Bandwidth float64
+	Stats     nvm.Stats
+}
+
+// MBps converts the result bandwidth to MB/s (decimal), the unit of the
+// paper's charts.
+func (r Result) MBps() float64 { return r.Bandwidth / 1e6 }
+
+// Submit drives one block operation through the stack at the SSD's current
+// clock and returns its completion time. Sync operations drain the queue
+// before issuing and hold back subsequent operations until they complete.
+func (s *SSD) Submit(op trace.BlockOp) sim.Time {
+	if op.Sync {
+		s.clock = sim.MaxTime(s.clock, s.win.Drain())
+	}
+	var pageOps []nvm.PageOp
+	switch op.Kind {
+	case trace.Read:
+		pageOps = s.trans.Read(op.Offset, op.Size)
+	case trace.Write:
+		pageOps = s.trans.Write(op.Offset, op.Size)
+	case trace.Erase:
+		pageOps = s.trans.Erase(op.Offset, op.Size)
+	}
+	issue := s.win.Admit(s.clock, op.Size)
+	end := s.Dev.Submit(issue, pageOps)
+	s.win.Complete(end, op.Size)
+	if op.Sync {
+		s.clock = end
+	} else {
+		s.clock = issue + s.hostOverhead
+	}
+	if !op.Meta {
+		s.dataBytes += op.Size
+	}
+	return end
+}
+
+// Replay drives a whole block trace and reports the run's measurements.
+// It may be called repeatedly; state (clock, device timelines) accumulates,
+// matching a continuously running device.
+func (s *SSD) Replay(ops []trace.BlockOp) Result {
+	for _, op := range ops {
+		s.Submit(op)
+	}
+	return s.Finish()
+}
+
+// Finish drains outstanding requests and snapshots the results so far.
+func (s *SSD) Finish() Result {
+	s.clock = sim.MaxTime(s.clock, s.win.Drain())
+	st := s.Dev.Stats()
+	return Result{
+		Elapsed:   st.Span,
+		DataBytes: s.dataBytes,
+		Bandwidth: sim.Rate(s.dataBytes, st.Span),
+		Stats:     st,
+	}
+}

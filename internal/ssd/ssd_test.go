@@ -1,0 +1,223 @@
+package ssd
+
+import (
+	"testing"
+
+	"oocnvm/internal/interconnect"
+	"oocnvm/internal/nvm"
+	"oocnvm/internal/sim"
+	"oocnvm/internal/trace"
+)
+
+func testConfig(cell nvm.CellType) Config {
+	geo := nvm.PaperGeometry()
+	cp := nvm.Params(cell)
+	return Config{
+		Geometry:   geo,
+		Cell:       cp,
+		Bus:        nvm.ONFi3SDR(),
+		Link:       interconnect.Infinite{},
+		Translator: Direct{Geo: geo, Cell: cp},
+		Seed:       1,
+	}
+}
+
+func newSSD(t *testing.T, cfg Config) *SSD {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewRequiresTranslator(t *testing.T) {
+	cfg := testConfig(nvm.SLC)
+	cfg.Translator = nil
+	if _, err := New(cfg); err == nil {
+		t.Fatal("nil translator accepted")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	s := newSSD(t, testConfig(nvm.SLC))
+	if s.win.Depth() != DefaultQueueDepth {
+		t.Fatalf("queue depth = %d, want default %d", s.win.Depth(), DefaultQueueDepth)
+	}
+	if s.hostOverhead != DefaultHostOverhead {
+		t.Fatal("host overhead default not applied")
+	}
+}
+
+func TestReplayAccountsDataBytes(t *testing.T) {
+	s := newSSD(t, testConfig(nvm.SLC))
+	res := s.Replay([]trace.BlockOp{
+		{Kind: trace.Read, Offset: 0, Size: 1 << 20},
+		{Kind: trace.Read, Offset: 1 << 20, Size: 1 << 20, Meta: true},
+	})
+	if res.DataBytes != 1<<20 {
+		t.Fatalf("data bytes = %d; metadata must not count as application data", res.DataBytes)
+	}
+	if res.Bandwidth <= 0 || res.Elapsed <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	if res.MBps() != res.Bandwidth/1e6 {
+		t.Fatal("MBps conversion wrong")
+	}
+}
+
+func TestSyncBarrierOrdersRequests(t *testing.T) {
+	// With a sync op between two reads, the second read cannot issue until
+	// the sync completes; total elapsed must exceed the sum of a read and
+	// the barrier's latency.
+	async := newSSD(t, testConfig(nvm.TLC))
+	r1 := async.Replay([]trace.BlockOp{
+		{Kind: trace.Read, Offset: 0, Size: 64 << 10},
+		{Kind: trace.Read, Offset: 10 << 20, Size: 4096},
+		{Kind: trace.Read, Offset: 64 << 10, Size: 64 << 10},
+	})
+	barrier := newSSD(t, testConfig(nvm.TLC))
+	r2 := barrier.Replay([]trace.BlockOp{
+		{Kind: trace.Read, Offset: 0, Size: 64 << 10},
+		{Kind: trace.Read, Offset: 10 << 20, Size: 4096, Sync: true},
+		{Kind: trace.Read, Offset: 64 << 10, Size: 64 << 10},
+	})
+	if r2.Elapsed <= r1.Elapsed {
+		t.Fatalf("sync barrier did not serialize: %v vs %v", r2.Elapsed, r1.Elapsed)
+	}
+}
+
+func TestWindowBytesThrottles(t *testing.T) {
+	run := func(window int64) sim.Time {
+		cfg := testConfig(nvm.TLC)
+		cfg.WindowBytes = window
+		s := newSSD(t, cfg)
+		var ops []trace.BlockOp
+		for i := int64(0); i < 64; i++ {
+			ops = append(ops, trace.BlockOp{Kind: trace.Read, Offset: i * (128 << 10), Size: 128 << 10})
+		}
+		return s.Replay(ops).Elapsed
+	}
+	narrow := run(128 << 10)
+	wide := run(4 << 20)
+	if narrow <= wide {
+		t.Fatalf("narrow window (%v) not slower than wide (%v)", narrow, wide)
+	}
+}
+
+func TestEraseKindRoutes(t *testing.T) {
+	s := newSSD(t, testConfig(nvm.SLC))
+	cell := nvm.Params(nvm.SLC)
+	res := s.Replay([]trace.BlockOp{{Kind: trace.Erase, Offset: 0, Size: cell.BlockSize()}})
+	if res.Stats.Erases == 0 {
+		t.Fatal("erase op did not reach the device")
+	}
+}
+
+func TestDirectReadMapping(t *testing.T) {
+	geo := nvm.PaperGeometry()
+	cell := nvm.Params(nvm.SLC)
+	d := Direct{Geo: geo, Cell: cell}
+	ops := d.Read(0, 4*cell.PageSize)
+	if len(ops) != 4 {
+		t.Fatalf("ops = %d, want 4", len(ops))
+	}
+	for i, op := range ops {
+		want := geo.MapLogical(int64(i), cell.Planes)
+		if op.Loc != want || op.Op != nvm.OpRead {
+			t.Fatalf("op %d = %+v, want loc %+v", i, op, want)
+		}
+	}
+	if d.Read(0, 0) != nil {
+		t.Fatal("zero read not empty")
+	}
+}
+
+func TestDirectWriteMapping(t *testing.T) {
+	geo := nvm.PaperGeometry()
+	cell := nvm.Params(nvm.MLC)
+	d := Direct{Geo: geo, Cell: cell}
+	ops := d.Write(cell.PageSize, cell.PageSize)
+	if len(ops) != 1 || ops[0].Op != nvm.OpProgram {
+		t.Fatalf("ops = %v", ops)
+	}
+}
+
+func TestDirectEraseMapping(t *testing.T) {
+	geo := nvm.PaperGeometry()
+	cell := nvm.Params(nvm.SLC)
+	d := Direct{Geo: geo, Cell: cell}
+	ops := d.Erase(0, 2*cell.BlockSize())
+	if len(ops) != 2 {
+		t.Fatalf("erase ops = %d, want 2", len(ops))
+	}
+	for _, op := range ops {
+		if op.Op != nvm.OpErase {
+			t.Fatal("wrong verb")
+		}
+	}
+	// Zero size defaults to one block.
+	if got := len(d.Erase(0, 0)); got != 1 {
+		t.Fatalf("default erase ops = %d, want 1", got)
+	}
+}
+
+func TestDirectCapacityWraps(t *testing.T) {
+	geo := nvm.PaperGeometry()
+	cell := nvm.Params(nvm.SLC)
+	d := Direct{Geo: geo, Cell: cell}
+	// Reads past the end of the device wrap rather than exploding.
+	ops := d.Read(d.CapacityBytes()-cell.PageSize, 2*cell.PageSize)
+	if len(ops) != 2 {
+		t.Fatalf("ops = %d", len(ops))
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	mk := func() Result {
+		s := newSSD(t, testConfig(nvm.MLC))
+		var ops []trace.BlockOp
+		for i := int64(0); i < 32; i++ {
+			ops = append(ops, trace.BlockOp{Kind: trace.Read, Offset: i * (1 << 20), Size: 1 << 20})
+			if i%8 == 7 {
+				ops = append(ops, trace.BlockOp{Kind: trace.Write, Offset: 1 << 30, Size: 16 << 10, Meta: true})
+			}
+		}
+		return s.Replay(ops)
+	}
+	a, b := mk(), mk()
+	if a.Elapsed != b.Elapsed || a.Bandwidth != b.Bandwidth || a.Stats != b.Stats {
+		t.Fatal("replay not deterministic")
+	}
+}
+
+func TestBandwidthOrderingByMedium(t *testing.T) {
+	// Under an identical big sequential workload, faster media are not
+	// slower: PCM/SLC >= MLC >= TLC.
+	bw := func(cell nvm.CellType) float64 {
+		s := newSSD(t, testConfig(cell))
+		var ops []trace.BlockOp
+		for i := int64(0); i < 16; i++ {
+			ops = append(ops, trace.BlockOp{Kind: trace.Read, Offset: i * (4 << 20), Size: 4 << 20})
+		}
+		return s.Replay(ops).Bandwidth
+	}
+	tlc, mlc, slc := bw(nvm.TLC), bw(nvm.MLC), bw(nvm.SLC)
+	if tlc > mlc*1.01 || mlc > slc*1.01 {
+		t.Fatalf("medium ordering violated: TLC %.0f MLC %.0f SLC %.0f", tlc/1e6, mlc/1e6, slc/1e6)
+	}
+}
+
+func TestFinishIdempotentAccumulation(t *testing.T) {
+	s := newSSD(t, testConfig(nvm.SLC))
+	s.Submit(trace.BlockOp{Kind: trace.Read, Offset: 0, Size: 1 << 20})
+	r1 := s.Finish()
+	s.Submit(trace.BlockOp{Kind: trace.Read, Offset: 1 << 20, Size: 1 << 20})
+	r2 := s.Finish()
+	if r2.DataBytes != 2<<20 {
+		t.Fatalf("accumulated data bytes = %d", r2.DataBytes)
+	}
+	if r2.Elapsed <= r1.Elapsed {
+		t.Fatal("second batch did not extend the span")
+	}
+}
