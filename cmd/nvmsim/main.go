@@ -11,6 +11,7 @@ import (
 
 	"oocnvm/internal/interconnect"
 	"oocnvm/internal/nvm"
+	"oocnvm/internal/obs"
 	"oocnvm/internal/sim"
 	"oocnvm/internal/ssd"
 	"oocnvm/internal/trace"
@@ -30,15 +31,17 @@ func main() {
 		window   = flag.Int64("window", 0, "in-flight byte window in KiB (0 = queue-depth bound)")
 		qd       = flag.Int("qd", 32, "queue depth")
 		seed     = flag.Uint64("seed", 1, "seed")
+		traceOut = flag.String("trace-out", "", "write a Chrome trace_event JSON file (open in chrome://tracing or Perfetto)")
+		metrics  = flag.String("metrics-out", "", "write the metrics registry (JSON, or CSV with a .csv suffix)")
 	)
 	flag.Parse()
-	if err := run(*cellName, *busName, *gen, *lanes, *bridged, *pattern, *kind, *reqKiB, *count, *window, *qd, *seed); err != nil {
+	if err := run(*cellName, *busName, *gen, *lanes, *bridged, *pattern, *kind, *reqKiB, *count, *window, *qd, *seed, *traceOut, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "nvmsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cellName, busName string, gen, lanes int, bridged bool, pattern, kind string, reqKiB int64, count int, windowKiB int64, qd int, seed uint64) error {
+func run(cellName, busName string, gen, lanes int, bridged bool, pattern, kind string, reqKiB int64, count int, windowKiB int64, qd int, seed uint64, traceOut, metricsOut string) error {
 	var cell nvm.CellType
 	switch cellName {
 	case "SLC":
@@ -69,7 +72,11 @@ func run(cellName, busName string, gen, lanes int, bridged bool, pattern, kind s
 
 	geo := nvm.PaperGeometry()
 	cp := nvm.Params(cell)
-	drive, err := ssd.New(ssd.Config{
+	var col *obs.Collector
+	if traceOut != "" || metricsOut != "" {
+		col = obs.NewCollector()
+	}
+	sc := ssd.Config{
 		Geometry:    geo,
 		Cell:        cp,
 		Bus:         bus,
@@ -78,7 +85,11 @@ func run(cellName, busName string, gen, lanes int, bridged bool, pattern, kind s
 		QueueDepth:  qd,
 		WindowBytes: windowKiB << 10,
 		Seed:        seed,
-	})
+	}
+	if col != nil {
+		sc.Probe = col
+	}
+	drive, err := ssd.New(sc)
 	if err != nil {
 		return err
 	}
@@ -117,5 +128,22 @@ func run(cellName, busName string, gen, lanes int, bridged bool, pattern, kind s
 	fr := res.Stats.PAL.Fractions()
 	fmt.Printf("parallelism: PAL1 %.1f%%  PAL2 %.1f%%  PAL3 %.1f%%  PAL4 %.1f%%\n",
 		100*fr[0], 100*fr[1], 100*fr[2], 100*fr[3])
+
+	if col != nil {
+		col.Reg.Absorb(drive.Dev.Registry())
+		obs.WriteStageTable(os.Stdout, col.Reg.Snapshot())
+		if traceOut != "" {
+			if err := col.WriteTraceFile(traceOut); err != nil {
+				return err
+			}
+			fmt.Printf("trace written to %s (%d spans, %d dropped)\n", traceOut, col.Tr.Len(), col.Tr.Dropped())
+		}
+		if metricsOut != "" {
+			if err := col.WriteMetricsFile(metricsOut); err != nil {
+				return err
+			}
+			fmt.Printf("metrics written to %s\n", metricsOut)
+		}
+	}
 	return nil
 }

@@ -19,6 +19,7 @@ import (
 	"oocnvm/internal/energy"
 	"oocnvm/internal/experiment"
 	"oocnvm/internal/nvm"
+	"oocnvm/internal/obs"
 	"oocnvm/internal/ooc"
 	"oocnvm/internal/sim"
 	"oocnvm/internal/trace"
@@ -39,6 +40,8 @@ func main() {
 		apps     = flag.Int("apps", 4, "operator applications (2 per LOBPCG iteration)")
 		seed     = flag.Uint64("seed", 42, "simulation seed")
 		qd       = flag.Int("qd", 32, "host queue depth")
+		traceOut = flag.String("trace-out", "", "write a Chrome trace_event JSON file of all probed runs")
+		metrics  = flag.String("metrics-out", "", "write the aggregate metrics registry (JSON, or CSV with a .csv suffix)")
 	)
 	flag.Parse()
 
@@ -50,10 +53,31 @@ func main() {
 	}
 	opt.Seed = *seed
 	opt.QueueDepth = *qd
+	if *traceOut != "" || *metrics != "" {
+		opt.Obs = obs.NewCollector()
+	}
 
 	if err := run(opt, *fig, *table, *summary, *topology, *distrib, *energy, *cacheF, *chart); err != nil {
 		fmt.Fprintln(os.Stderr, "oocbench:", err)
 		os.Exit(1)
+	}
+	if opt.Obs != nil {
+		obs.WriteStageTable(os.Stdout, opt.Obs.Reg.Snapshot())
+		if *traceOut != "" {
+			if err := opt.Obs.WriteTraceFile(*traceOut); err != nil {
+				fmt.Fprintln(os.Stderr, "oocbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("trace written to %s (%d spans, %d dropped)\n",
+				*traceOut, opt.Obs.Tr.Len(), opt.Obs.Tr.Dropped())
+		}
+		if *metrics != "" {
+			if err := opt.Obs.WriteMetricsFile(*metrics); err != nil {
+				fmt.Fprintln(os.Stderr, "oocbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("metrics written to %s\n", *metrics)
+		}
 	}
 }
 

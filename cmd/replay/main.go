@@ -7,45 +7,62 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"oocnvm/internal/experiment"
 	"oocnvm/internal/ftl"
 	"oocnvm/internal/nvm"
+	"oocnvm/internal/obs"
 	"oocnvm/internal/ssd"
 	"oocnvm/internal/trace"
 )
 
+type options struct {
+	file       string
+	asJSON     bool
+	cfgName    string
+	cellName   string
+	qd         int
+	windowKiB  int64
+	paqDepth   int
+	cache      bool
+	seed       uint64
+	traceOut   string
+	metricsOut string
+}
+
 func main() {
-	var (
-		file     = flag.String("trace", "", "block trace file (binary or JSON)")
-		asJSON   = flag.Bool("json", false, "trace file is JSON")
-		cfgName  = flag.String("config", "CNL-UFS", "Table 2 configuration to replay on")
-		cellName = flag.String("cell", "SLC", "NVM type: SLC, MLC, TLC, PCM")
-		qd       = flag.Int("qd", 32, "queue depth")
-		window   = flag.Int64("window", 0, "in-flight byte window in KiB (0 = unlimited)")
-		paqDepth = flag.Int("paq", 0, "physically-addressed-queueing window (0 = FIFO)")
-		cache    = flag.Bool("cachemode", false, "enable dual-register cache operation")
-		seed     = flag.Uint64("seed", 42, "seed")
-	)
+	var o options
+	flag.StringVar(&o.file, "trace", "", "block trace file (binary or JSON)")
+	flag.BoolVar(&o.asJSON, "json", false, "trace file is JSON")
+	flag.StringVar(&o.cfgName, "config", "CNL-UFS", "Table 2 configuration to replay on")
+	flag.StringVar(&o.cellName, "cell", "SLC", "NVM type: SLC, MLC, TLC, PCM")
+	flag.IntVar(&o.qd, "qd", 32, "queue depth")
+	flag.Int64Var(&o.windowKiB, "window", 0, "in-flight byte window in KiB (0 = unlimited)")
+	flag.IntVar(&o.paqDepth, "paq", 0, "physically-addressed-queueing window (0 = FIFO)")
+	flag.BoolVar(&o.cache, "cachemode", false, "enable dual-register cache operation")
+	flag.Uint64Var(&o.seed, "seed", 42, "seed")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write a Chrome trace_event JSON file (open in chrome://tracing or Perfetto)")
+	flag.StringVar(&o.metricsOut, "metrics-out", "", "write the metrics registry (JSON, or CSV with a .csv suffix)")
 	flag.Parse()
-	if err := run(*file, *asJSON, *cfgName, *cellName, *qd, *window, *paqDepth, *cache, *seed); err != nil {
+	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "replay:", err)
 		os.Exit(1)
 	}
 }
 
-func run(file string, asJSON bool, cfgName, cellName string, qd int, windowKiB int64, paqDepth int, cache bool, seed uint64) error {
-	if file == "" {
+func run(o options, w io.Writer) error {
+	if o.file == "" {
 		return fmt.Errorf("-trace is required (capture one with tracegen)")
 	}
-	f, err := os.Open(file)
+	f, err := os.Open(o.file)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	var ops []trace.BlockOp
-	if asJSON {
+	if o.asJSON {
 		ops, err = trace.DecodeBlockJSON(f)
 	} else {
 		ops, err = trace.ReadBlockTrace(f)
@@ -55,7 +72,7 @@ func run(file string, asJSON bool, cfgName, cellName string, qd int, windowKiB i
 	}
 
 	var cell nvm.CellType
-	switch cellName {
+	switch o.cellName {
 	case "SLC":
 		cell = nvm.SLC
 	case "MLC":
@@ -65,9 +82,9 @@ func run(file string, asJSON bool, cfgName, cellName string, qd int, windowKiB i
 	case "PCM":
 		cell = nvm.PCM
 	default:
-		return fmt.Errorf("unknown cell type %q", cellName)
+		return fmt.Errorf("unknown cell type %q", o.cellName)
 	}
-	cfg, err := experiment.FindConfig(cfgName)
+	cfg, err := experiment.FindConfig(o.cfgName)
 	if err != nil {
 		return err
 	}
@@ -84,43 +101,66 @@ func run(file string, asJSON bool, cfgName, cellName string, qd int, windowKiB i
 		}
 		translator = ft
 	}
+
+	// Observability is collected only when an export was requested; the
+	// stack runs with free no-op probes otherwise.
+	var col *obs.Collector
+	if o.traceOut != "" || o.metricsOut != "" {
+		col = obs.NewCollector()
+	}
+
 	link := cfg.BuildLink()
-	drive, err := ssd.New(ssd.Config{
+	sc := ssd.Config{
 		Geometry:    geo,
 		Cell:        cp,
 		Bus:         cfg.Bus,
 		Link:        link,
 		Translator:  translator,
-		QueueDepth:  qd,
-		WindowBytes: windowKiB << 10,
-		CacheMode:   cache,
-		Seed:        seed,
-	})
+		QueueDepth:  o.qd,
+		WindowBytes: o.windowKiB << 10,
+		CacheMode:   o.cache,
+		Seed:        o.seed,
+	}
+	if col != nil {
+		sc.Probe = col
+	}
+	drive, err := ssd.New(sc)
 	if err != nil {
 		return err
 	}
 
 	st := trace.Characterize(ops)
-	fmt.Printf("trace: %d ops, %d MiB (%d MiB data), mean request %.1f KiB, %.0f%% sequential\n",
+	fmt.Fprintf(w, "trace: %d ops, %d MiB (%d MiB data), mean request %.1f KiB, %.0f%% sequential\n",
 		st.Ops, st.Bytes>>20, st.DataBytes>>20, st.MeanSize/1024, 100*st.SequentialPct)
 
 	var res ssd.Result
-	if paqDepth > 1 {
-		res = ssd.NewPAQ(drive, paqDepth).Replay(ops)
+	if o.paqDepth > 1 {
+		res = ssd.NewPAQ(drive, o.paqDepth).Replay(ops)
 	} else {
 		res = drive.Replay(ops)
 	}
 	lat := drive.Dev.Latency()
 
-	fmt.Printf("config: %s on %s (%s, %s)\n", cfg.Name, cell, cfg.PCIe, cfg.Bus.Name)
-	fmt.Printf("elapsed:   %v\n", res.Elapsed)
-	fmt.Printf("bandwidth: %.1f MB/s\n", res.MBps())
-	fmt.Printf("latency:   p50 %v  p95 %v  p99 %v  max %v\n", lat.P50, lat.P95, lat.P99, lat.Max)
-	fmt.Printf("channel util %.1f%%  package util %.1f%%  bus occupancy %.1f%%\n",
-		100*res.Stats.ChannelUtilization, 100*res.Stats.PackageUtilization, 100*res.Stats.BusOccupancy)
-	p := res.Stats.Breakdown.Percentages()
-	for i, label := range nvm.BreakdownLabels {
-		fmt.Printf("  %-22s %5.1f%%\n", label, 100*p[i])
+	fmt.Fprintf(w, "config: %s on %s (%s, %s)\n", cfg.Name, cell, cfg.PCIe, cfg.Bus.Name)
+	fmt.Fprint(w, res)
+	fmt.Fprintf(w, "latency: p50 %v  p95 %v  p99 %v  max %v\n", lat.P50, lat.P95, lat.P99, lat.Max)
+
+	if col != nil {
+		col.Reg.Absorb(drive.Dev.Registry())
+		obs.WriteStageTable(w, col.Reg.Snapshot())
+		if o.traceOut != "" {
+			if err := col.WriteTraceFile(o.traceOut); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "trace written to %s (%d spans, %d dropped)\n",
+				o.traceOut, col.Tr.Len(), col.Tr.Dropped())
+		}
+		if o.metricsOut != "" {
+			if err := col.WriteMetricsFile(o.metricsOut); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "metrics written to %s\n", o.metricsOut)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,209 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"oocnvm/internal/trace"
+)
+
+// writeTestTrace writes a small synthetic block trace and returns its path.
+func writeTestTrace(t *testing.T) string {
+	t.Helper()
+	var ops []trace.BlockOp
+	for i := int64(0); i < 24; i++ {
+		ops = append(ops, trace.BlockOp{Kind: trace.Read, Offset: i * (1 << 20), Size: 1 << 20})
+		if i%8 == 7 {
+			ops = append(ops, trace.BlockOp{Kind: trace.Write, Offset: 1 << 30, Size: 16 << 10, Meta: true})
+		}
+	}
+	path := filepath.Join(t.TempDir(), "test.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.WriteBlockTrace(f, ops); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestReplayObservabilityEndToEnd drives the full replay pipeline with both
+// exports enabled and validates (a) the trace file is well-formed Chrome
+// trace_event JSON with spans from multiple layers, and (b) the exported
+// metrics reconcile with the printed result: the ssd span/bandwidth gauges
+// and data-byte counter must match the replay's own Result within 1%.
+func TestReplayObservabilityEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	traceOut := filepath.Join(dir, "trace.json")
+	metricsOut := filepath.Join(dir, "metrics.json")
+	var out bytes.Buffer
+	err := run(options{
+		file:       writeTestTrace(t),
+		cfgName:    "CNL-UFS",
+		cellName:   "SLC",
+		qd:         32,
+		seed:       42,
+		traceOut:   traceOut,
+		metricsOut: metricsOut,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Console output: Result.String() table plus the stage breakdown.
+	for _, want := range []string{"elapsed", "bandwidth", "per-stage latency breakdown:", "ssd.request.latency"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("console output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// (a) Chrome trace structure.
+	raw, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Pid  int     `json:"pid"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Args struct {
+				Name string `json:"name"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	layers := map[string]bool{}
+	var spans int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "process_name" {
+				layers[ev.Args.Name] = true
+			}
+		case "X":
+			spans++
+			if ev.Ts < 0 || ev.Dur < 0 {
+				t.Fatalf("bad span ts/dur: %+v", ev)
+			}
+		}
+	}
+	if spans == 0 {
+		t.Fatal("trace has no spans")
+	}
+	for _, layer := range []string{"ssd", "nvm", "interconnect"} {
+		if !layers[layer] {
+			t.Fatalf("trace missing layer %q (got %v)", layer, layers)
+		}
+	}
+
+	// (b) Metrics reconciliation within 1%.
+	mraw, err := os.ReadFile(metricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"counters"`
+		Gauges []struct {
+			Name  string  `json:"name"`
+			Value float64 `json:"value"`
+		} `json:"gauges"`
+		Histograms []struct {
+			Name  string `json:"name"`
+			Count int64  `json:"count"`
+			P50Ps int64  `json:"p50_ps"`
+			P95Ps int64  `json:"p95_ps"`
+			P99Ps int64  `json:"p99_ps"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(mraw, &snap); err != nil {
+		t.Fatalf("metrics output is not valid JSON: %v", err)
+	}
+	counters := map[string]int64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	gauges := map[string]float64{}
+	for _, g := range snap.Gauges {
+		gauges[g.Name] = g.Value
+	}
+
+	// The replay's own numbers, recomputed from an identical un-probed run.
+	var plain bytes.Buffer
+	if err := run(options{
+		file: writeTestTrace(t), cfgName: "CNL-UFS", cellName: "SLC", qd: 32, seed: 42,
+	}, &plain); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := counters["ssd.data_bytes"], int64(24<<20); got != want {
+		t.Fatalf("ssd.data_bytes = %d, want %d", got, want)
+	}
+	spanPs, bwBps := gauges["ssd.span_ps"], gauges["ssd.bandwidth_bps"]
+	if spanPs <= 0 || bwBps <= 0 {
+		t.Fatalf("degenerate ssd gauges: span=%v bw=%v", spanPs, bwBps)
+	}
+	// bandwidth * span must equal data bytes within 1% (ps → s is 1e12).
+	recon := bwBps * spanPs / 1e12
+	if diff := math.Abs(recon-float64(24<<20)) / float64(24<<20); diff > 0.01 {
+		t.Fatalf("bandwidth*span = %.0f bytes, want %d within 1%% (off by %.2f%%)",
+			recon, 24<<20, 100*diff)
+	}
+	// The nvm registry was absorbed: device counters and span gauge present
+	// and consistent with the ssd view.
+	if counters["nvm.reads"] == 0 {
+		t.Fatal("nvm.reads missing from absorbed registry")
+	}
+	if nvmSpan := gauges["nvm.span_ps"]; math.Abs(nvmSpan-spanPs)/spanPs > 0.01 {
+		t.Fatalf("nvm.span_ps %v disagrees with ssd.span_ps %v", nvmSpan, spanPs)
+	}
+
+	// Latency histograms exported with percentiles.
+	var sawLatency bool
+	for _, h := range snap.Histograms {
+		if h.Name == "ssd.request.latency" {
+			sawLatency = true
+			if h.Count == 0 || h.P50Ps <= 0 || h.P95Ps < h.P50Ps || h.P99Ps < h.P95Ps {
+				t.Fatalf("degenerate latency histogram: %+v", h)
+			}
+		}
+	}
+	if !sawLatency {
+		t.Fatal("ssd.request.latency histogram missing")
+	}
+
+	// Observability must not perturb the simulation: identical headline
+	// table with and without probes.
+	probed := out.String()[:strings.Index(out.String(), "per-stage")]
+	if !strings.Contains(probed, "elapsed") || !strings.HasPrefix(plain.String(), probed[:strings.Index(probed, "latency:")]) {
+		t.Fatalf("probed and unprobed runs diverge:\nprobed:\n%s\nplain:\n%s", probed, plain.String())
+	}
+}
+
+// TestReplayNoExportFlagsNoFiles ensures observability stays off (and no
+// files appear) when the flags are not given.
+func TestReplayNoExportFlagsNoFiles(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(options{
+		file: writeTestTrace(t), cfgName: "CNL-EXT4", cellName: "MLC", qd: 32, seed: 1,
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "per-stage latency breakdown") {
+		t.Fatal("stage table printed without a collector")
+	}
+}

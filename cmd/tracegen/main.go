@@ -43,7 +43,7 @@ func buildFS(name string, capacity int64, seed uint64) (fs.FileSystem, error) {
 	case "GPFS":
 		return fs.NewGPFS(fs.DefaultGPFS(), capacity, seed)
 	case "UFS":
-		return ufs.AsFileSystem{}, nil
+		return &ufs.AsFileSystem{}, nil
 	}
 	for _, p := range fs.LocalProfiles() {
 		if p.Name == name {

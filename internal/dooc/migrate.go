@@ -46,6 +46,10 @@ func (p *DataPool) MigrateTo(dst *DataPool, name string) error {
 			return fmt.Errorf("dooc: migrate %q: %w", name, err)
 		}
 	}
+	p.mu.Lock()
+	p.probe.Count("dooc.migrations", 1)
+	p.probe.Count("dooc.migrated_bytes", int64(len(data)))
+	p.mu.Unlock()
 	return p.Drop(name)
 }
 

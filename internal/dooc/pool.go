@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+
+	"oocnvm/internal/obs"
 )
 
 // Loader fetches a named array's bytes from backing storage. It is how the
@@ -25,6 +27,17 @@ type DataPool struct {
 	inflight map[string]chan struct{}
 
 	hits, misses, evictions int64
+
+	probe obs.Probe
+}
+
+// SetProbe attaches an observability probe: hit/miss/eviction counters and a
+// resident-bytes gauge. Probe implementations must be safe for concurrent
+// use (Gets race); obs.Collector is.
+func (p *DataPool) SetProbe(pr obs.Probe) {
+	p.mu.Lock()
+	p.probe = obs.OrNop(pr)
+	p.mu.Unlock()
 }
 
 type poolEntry struct {
@@ -47,6 +60,7 @@ func NewDataPool(budget int64, loader Loader) (*DataPool, error) {
 		entries:  make(map[string]*list.Element),
 		lru:      list.New(),
 		inflight: make(map[string]chan struct{}),
+		probe:    obs.Nop{},
 	}, nil
 }
 
@@ -87,6 +101,7 @@ func (p *DataPool) insertLocked(name string, data []byte) error {
 	el := p.lru.PushFront(&poolEntry{name: name, data: data})
 	p.entries[name] = el
 	p.used += need
+	p.probe.SetGauge("dooc.pool.used_bytes", float64(p.used))
 	return nil
 }
 
@@ -100,6 +115,7 @@ func (p *DataPool) evictOneLocked() bool {
 		delete(p.entries, e.name)
 		p.used -= int64(len(e.data))
 		p.evictions++
+		p.probe.Count("dooc.pool.evictions", 1)
 		return true
 	}
 	return false
@@ -113,6 +129,7 @@ func (p *DataPool) Get(name string) ([]byte, error) {
 		if el, ok := p.entries[name]; ok {
 			p.lru.MoveToFront(el)
 			p.hits++
+			p.probe.Count("dooc.pool.hits", 1)
 			data := el.Value.(*poolEntry).data
 			p.mu.Unlock()
 			return data, nil
@@ -125,6 +142,7 @@ func (p *DataPool) Get(name string) ([]byte, error) {
 		ch := make(chan struct{})
 		p.inflight[name] = ch
 		p.misses++
+		p.probe.Count("dooc.pool.misses", 1)
 		p.mu.Unlock()
 
 		data, err := p.loader(name)

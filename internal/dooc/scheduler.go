@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"oocnvm/internal/obs"
 )
 
 // Task is one schedulable unit with data dependencies: it consumes named
@@ -24,7 +26,14 @@ type Task struct {
 type Scheduler struct {
 	workers  int
 	resident func(name string) bool
+	probe    obs.Probe
 }
+
+// SetProbe attaches an observability probe counting scheduling decisions and
+// how often the data-aware policy found a ready task with resident inputs.
+// Probe implementations must be safe for concurrent use (workers run in
+// parallel); obs.Collector is.
+func (s *Scheduler) SetProbe(p obs.Probe) { s.probe = obs.OrNop(p) }
 
 // NewScheduler creates a scheduler with the given worker count. resident,
 // when non-nil, reports whether an array is already local (usually
@@ -33,7 +42,7 @@ func NewScheduler(workers int, resident func(string) bool) (*Scheduler, error) {
 	if workers <= 0 {
 		return nil, fmt.Errorf("dooc: scheduler needs at least one worker, got %d", workers)
 	}
-	return &Scheduler{workers: workers, resident: resident}, nil
+	return &Scheduler{workers: workers, resident: resident, probe: obs.Nop{}}, nil
 }
 
 // Run executes the task set respecting dependencies and returns the
@@ -117,6 +126,10 @@ func (s *Scheduler) Run(tasks []Task) ([]string, error) {
 		}
 		id := ready[best]
 		ready = append(ready[:best], ready[best+1:]...)
+		s.probe.Count("dooc.sched.decisions", 1)
+		if bestKey[0] > 0 {
+			s.probe.Count("dooc.sched.resident_picks", 1)
+		}
 		return id
 	}
 
@@ -159,6 +172,7 @@ func (s *Scheduler) Run(tasks []Task) ([]string, error) {
 				if err != nil && firstErr == nil {
 					firstErr = fmt.Errorf("dooc: task %q: %w", id, err)
 				}
+				s.probe.Count("dooc.sched.tasks_completed", 1)
 				for _, dep := range dependents[id] {
 					waiting[dep]--
 					if waiting[dep] == 0 {

@@ -134,7 +134,7 @@ func (c Config) buildFS(capacity int64, seed uint64) (fs.FileSystem, error) {
 	case FSGPFS:
 		return fs.NewGPFS(c.GPFS, capacity, seed)
 	case FSUFS:
-		return ufs.AsFileSystem{}, nil
+		return &ufs.AsFileSystem{}, nil
 	default:
 		return nil, fmt.Errorf("experiment: unknown FS kind %d", c.Kind)
 	}

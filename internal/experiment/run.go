@@ -8,6 +8,7 @@ import (
 	"oocnvm/internal/ftl"
 	"oocnvm/internal/interconnect"
 	"oocnvm/internal/nvm"
+	"oocnvm/internal/obs"
 	"oocnvm/internal/ooc"
 	"oocnvm/internal/ssd"
 	"oocnvm/internal/trace"
@@ -23,6 +24,11 @@ type Options struct {
 	// infinitely fast host path to measure what the media could have
 	// delivered under the same access pattern (Figures 7b and 8b).
 	MeasureRemaining bool
+	// Obs, when non-nil, collects metrics and trace spans from the achieved
+	// run (the infinite-host-path remeasurement is never probed, so its
+	// synthetic traffic cannot pollute the numbers). Safe to share across
+	// Matrix's concurrent runs.
+	Obs *obs.Collector
 }
 
 // DefaultOptions returns the evaluation defaults: the standard OoC workload
@@ -76,13 +82,13 @@ func Run(cfg Config, cell nvm.CellType, opt Options) (Measurement, error) {
 	if err != nil {
 		return Measurement{}, err
 	}
-	achieved, err := replay(cfg, cell, opt, blockOps, window, cfg.buildLink())
+	achieved, err := replay(cfg, cell, opt, blockOps, window, cfg.buildLink(), opt.Obs)
 	if err != nil {
 		return Measurement{}, err
 	}
 	m := Measurement{Config: cfg, Cell: cell, Achieved: achieved}
 	if opt.MeasureRemaining {
-		capable, err := replay(cfg, cell, opt, blockOps, window, interconnect.Infinite{})
+		capable, err := replay(cfg, cell, opt, blockOps, window, interconnect.Infinite{}, nil)
 		if err != nil {
 			return Measurement{}, err
 		}
@@ -104,11 +110,16 @@ func blockTrace(cfg Config, cell nvm.CellType, opt Options) ([]trace.BlockOp, in
 	if err != nil {
 		return nil, 0, err
 	}
+	if opt.Obs != nil {
+		obs.Instrument(fsys, opt.Obs)
+	}
 	return fsys.Transform(posix), fsys.ReadAhead(), nil
 }
 
-// replay drives the block trace through a freshly assembled SSD.
-func replay(cfg Config, cell nvm.CellType, opt Options, ops []trace.BlockOp, window int64, link nvm.Link) (ssd.Result, error) {
+// replay drives the block trace through a freshly assembled SSD. When col is
+// non-nil it receives the run's spans, and the device's private metrics
+// registry is absorbed into it after the replay.
+func replay(cfg Config, cell nvm.CellType, opt Options, ops []trace.BlockOp, window int64, link nvm.Link, col *obs.Collector) (ssd.Result, error) {
 	cp := nvm.Params(cell)
 	var translator ssd.Translator
 	if cfg.Kind == FSUFS {
@@ -123,7 +134,7 @@ func replay(cfg Config, cell nvm.CellType, opt Options, ops []trace.BlockOp, win
 		}
 		translator = f
 	}
-	drive, err := ssd.New(ssd.Config{
+	sc := ssd.Config{
 		Geometry:    opt.Geometry,
 		Cell:        cp,
 		Bus:         cfg.Bus,
@@ -132,11 +143,19 @@ func replay(cfg Config, cell nvm.CellType, opt Options, ops []trace.BlockOp, win
 		QueueDepth:  opt.QueueDepth,
 		WindowBytes: window,
 		Seed:        opt.Seed,
-	})
+	}
+	if col != nil {
+		sc.Probe = col
+	}
+	drive, err := ssd.New(sc)
 	if err != nil {
 		return ssd.Result{}, err
 	}
-	return drive.Replay(ops), nil
+	res := drive.Replay(ops)
+	if col != nil {
+		col.Reg.Absorb(drive.Dev.Registry())
+	}
+	return res, nil
 }
 
 // Matrix evaluates every (configuration, cell) pair concurrently and returns

@@ -18,6 +18,7 @@ package fs
 import (
 	"fmt"
 
+	"oocnvm/internal/obs"
 	"oocnvm/internal/sim"
 	"oocnvm/internal/trace"
 )
@@ -84,7 +85,15 @@ type profileFS struct {
 	capacity int64
 	rng      *sim.RNG
 	journal  int64 // next journal-region write position
+
+	probe obs.Probe
+	seq   int64 // synthetic translate-span timeline position
 }
+
+// SetProbe attaches an observability probe. Translation happens ahead of
+// simulated time, so translate spans are placed on a synthetic timeline (one
+// microsecond per POSIX request) that shows the fan-out, not timing.
+func (f *profileFS) SetProbe(p obs.Probe) { f.probe = obs.OrNop(p) }
 
 // New builds a file system from a behavioural profile. capacity is the size
 // of the device's address space (used for scatter relocation targets); seed
@@ -96,7 +105,7 @@ func New(p Profile, capacity int64, seed uint64) (FileSystem, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("fs: %s: capacity must be positive", p.Name)
 	}
-	return &profileFS{p: p, capacity: capacity, rng: sim.NewRNG(seed)}, nil
+	return &profileFS{p: p, capacity: capacity, rng: sim.NewRNG(seed), probe: obs.Nop{}}, nil
 }
 
 // MustNew is New for known-good profiles; it panics on error.
@@ -127,6 +136,7 @@ func (f *profileFS) Transform(ops []trace.PosixOp) []trace.BlockOp {
 	var out []trace.BlockOp
 	var sinceMeta, sinceJournal int64
 	for _, op := range ops {
+		outBefore := len(out)
 		// Align the request to FS blocks, then cut it at the coalescing cap.
 		start := op.Offset - op.Offset%f.p.BlockSize
 		end := op.Offset + op.Size
@@ -160,6 +170,7 @@ func (f *profileFS) Transform(ops []trace.PosixOp) []trace.BlockOp {
 					Kind: trace.Read, Offset: f.rng.Int63n(blocks) * 4096,
 					Size: 4096, Sync: true, Meta: true,
 				})
+				f.probe.Count("fs.meta_ops", 1)
 			}
 			if f.p.JournalBytes > 0 && sinceJournal >= f.p.JournalBytes {
 				sinceJournal -= f.p.JournalBytes
@@ -175,8 +186,18 @@ func (f *profileFS) Transform(ops []trace.PosixOp) []trace.BlockOp {
 				out = append(out, trace.BlockOp{
 					Kind: trace.Write, Offset: pos, Size: size, Meta: true,
 				})
+				f.probe.Count("fs.journal_ops", 1)
 			}
 		}
+		f.probe.Count("fs.posix_ops", 1)
+		f.probe.Count("fs.block_ops", int64(len(out)-outBefore))
+		if f.probe.Enabled() {
+			t := sim.Time(f.seq) * sim.Microsecond
+			f.probe.Span(obs.LayerFS, f.p.Name, "translate", t, t+sim.Microsecond,
+				obs.Attr{Key: "in_bytes", Value: op.Size},
+				obs.Attr{Key: "out_ops", Value: int64(len(out) - outBefore)})
+		}
+		f.seq++
 	}
 	return out
 }

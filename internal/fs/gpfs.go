@@ -3,6 +3,7 @@ package fs
 import (
 	"fmt"
 
+	"oocnvm/internal/obs"
 	"oocnvm/internal/sim"
 	"oocnvm/internal/trace"
 )
@@ -42,7 +43,14 @@ type gpfs struct {
 	cfg      GPFSConfig
 	capacity int64
 	rng      *sim.RNG
+
+	probe obs.Probe
+	seq   int64 // synthetic translate-span timeline position
 }
+
+// SetProbe attaches an observability probe; see profileFS.SetProbe for the
+// synthetic-timeline semantics of translate spans.
+func (g *gpfs) SetProbe(p obs.Probe) { g.probe = obs.OrNop(p) }
 
 // NewGPFS builds the GPFS model for one backing SSD with the given device
 // capacity.
@@ -56,7 +64,7 @@ func NewGPFS(cfg GPFSConfig, capacity int64, seed uint64) (FileSystem, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("fs: gpfs capacity must be positive")
 	}
-	return &gpfs{cfg: cfg, capacity: capacity, rng: sim.NewRNG(seed)}, nil
+	return &gpfs{cfg: cfg, capacity: capacity, rng: sim.NewRNG(seed), probe: obs.Nop{}}, nil
 }
 
 // stripeHash maps a stripe index to a stable pseudo-random value (SplitMix64
@@ -90,6 +98,7 @@ func (g *gpfs) Transform(ops []trace.PosixOp) []trace.BlockOp {
 	var sinceToken int64
 	frags := g.capacity / g.cfg.FragmentSize
 	for _, op := range ops {
+		outBefore := len(out)
 		start := op.Offset - op.Offset%g.cfg.FragmentSize
 		end := op.Offset + op.Size
 		for cur := start; cur < end; cur += g.cfg.FragmentSize {
@@ -124,8 +133,18 @@ func (g *gpfs) Transform(ops []trace.PosixOp) []trace.BlockOp {
 					Kind: trace.Read, Offset: g.rng.Int63n(frags) * g.cfg.FragmentSize,
 					Size: 4096, Sync: true, Meta: true,
 				})
+				g.probe.Count("fs.token_ops", 1)
 			}
 		}
+		g.probe.Count("fs.posix_ops", 1)
+		g.probe.Count("fs.block_ops", int64(len(out)-outBefore))
+		if g.probe.Enabled() {
+			t := sim.Time(g.seq) * sim.Microsecond
+			g.probe.Span(obs.LayerFS, "GPFS", "stripe", t, t+sim.Microsecond,
+				obs.Attr{Key: "in_bytes", Value: op.Size},
+				obs.Attr{Key: "out_ops", Value: int64(len(out) - outBefore)})
+		}
+		g.seq++
 	}
 	return out
 }

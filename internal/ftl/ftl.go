@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"oocnvm/internal/nvm"
+	"oocnvm/internal/obs"
 )
 
 // FTL is a page-mapped translation layer over one device's geometry.
@@ -40,7 +41,13 @@ type FTL struct {
 	relocated  int64
 	hostWrites int64
 	nandWrites int64
+
+	probe obs.Probe
 }
+
+// SetProbe attaches an observability probe: map-lookup and GC counters, and
+// the erase-amplification inputs (host vs NAND writes, relocations).
+func (f *FTL) SetProbe(p obs.Probe) { f.probe = obs.OrNop(p) }
 
 type superblock struct {
 	valid  int64
@@ -73,6 +80,7 @@ func New(geo nvm.Geometry, cell nvm.CellParams, cfg Config) (*FTL, error) {
 		p2l:     make(map[int64]int64),
 		active:  -1,
 		reserve: cfg.ReserveSuperblocks,
+		probe:   obs.Nop{},
 	}
 	f.spb = f.rowsz * f.ppb
 	f.sb = make([]superblock, f.super)
@@ -130,7 +138,9 @@ func (f *FTL) Preload(bytes int64) error {
 
 // lookup returns the physical page currently holding lpn.
 func (f *FTL) lookup(lpn int64) int64 {
+	f.probe.Count("ftl.map.lookups", 1)
 	if ppn, ok := f.l2p[lpn]; ok {
+		f.probe.Count("ftl.map.remapped", 1)
 		return ppn
 	}
 	return lpn // identity: preloaded layout
@@ -165,6 +175,7 @@ func (f *FTL) Write(offset, size int64) []nvm.PageOp {
 		f.hostWrites++
 		ops = append(ops, f.program(lpn)...)
 	}
+	f.probe.Count("ftl.host_writes", last-first+1)
 	return ops
 }
 
@@ -195,6 +206,7 @@ func (f *FTL) program(lpn int64) []nvm.PageOp {
 	f.p2l[ppn] = lpn
 	f.sb[f.active].valid++
 	f.nandWrites++
+	f.probe.Count("ftl.nand_writes", 1)
 	ops = append(ops, nvm.PageOp{Op: nvm.OpProgram, Loc: f.Locate(ppn)})
 	return ops
 }
@@ -245,6 +257,8 @@ func (f *FTL) pickVictim() int64 {
 // collect relocates a victim's valid pages into the log and erases it.
 func (f *FTL) collect(victim int64) []nvm.PageOp {
 	f.gcRuns++
+	f.probe.Count("ftl.gc.runs", 1)
+	relocatedBefore := f.relocated
 	var ops []nvm.PageOp
 	base := victim * f.spb
 	for p := base; p < base+f.spb; p++ {
@@ -270,6 +284,8 @@ func (f *FTL) collect(victim int64) []nvm.PageOp {
 	f.sb[victim].free = true
 	f.sb[victim].sealed = false
 	heap.Push(&f.freeHeap, wearEntry{id: victim, wear: f.sb[victim].wear})
+	f.probe.Count("ftl.gc.relocated_pages", f.relocated-relocatedBefore)
+	f.probe.Count("ftl.gc.erases", f.rowsz)
 	return ops
 }
 

@@ -9,6 +9,7 @@ package interconnect
 import (
 	"fmt"
 
+	"oocnvm/internal/obs"
 	"oocnvm/internal/sim"
 )
 
@@ -88,11 +89,26 @@ type Line struct {
 	tl       sim.Timeline
 	bps      float64
 	overhead sim.Time
+
+	probe obs.Probe
+	// Metric names are prebuilt at SetProbe time so the transfer hot path
+	// never concatenates strings.
+	busyGauge, bytesCounter, xfersCounter string
 }
 
 // NewLine builds a raw link with the given bandwidth and per-request cost.
 func NewLine(name string, bytesPerSec float64, overhead sim.Time) *Line {
-	return &Line{name: name, bps: bytesPerSec, overhead: overhead}
+	return &Line{name: name, bps: bytesPerSec, overhead: overhead, probe: obs.Nop{}}
+}
+
+// SetProbe attaches an observability probe: per-transfer spans on the link's
+// track plus byte/transfer counters and a cumulative busy-time gauge (the
+// link-occupancy sample).
+func (l *Line) SetProbe(p obs.Probe) {
+	l.probe = obs.OrNop(p)
+	l.busyGauge = "interconnect." + l.name + ".busy_ps"
+	l.bytesCounter = "interconnect." + l.name + ".bytes"
+	l.xfersCounter = "interconnect." + l.name + ".transfers"
 }
 
 // NewPCIeLine builds the link for a PCIe attachment.
@@ -105,7 +121,13 @@ func (l *Line) Name() string { return l.name }
 
 // Transfer books n bytes no earlier than at and returns the completion time.
 func (l *Line) Transfer(at sim.Time, n int64) sim.Time {
-	_, end := l.tl.Acquire(at, sim.DurationForBytes(n, l.bps))
+	start, end := l.tl.Acquire(at, sim.DurationForBytes(n, l.bps))
+	if l.probe.Enabled() {
+		l.probe.Span(obs.LayerInterconnect, l.name, "xfer", start, end)
+		l.probe.Count(l.bytesCounter, n)
+		l.probe.Count(l.xfersCounter, 1)
+		l.probe.SetGauge(l.busyGauge, float64(l.tl.Busy()))
+	}
 	return end
 }
 
@@ -144,6 +166,13 @@ type Chain struct {
 
 // NewChain composes the given stages.
 func NewChain(stages ...*Line) *Chain { return &Chain{Stages: stages} }
+
+// SetProbe attaches an observability probe to every stage.
+func (c *Chain) SetProbe(p obs.Probe) {
+	for _, s := range c.Stages {
+		s.SetProbe(p)
+	}
+}
 
 // Transfer books the bytes through every stage in series.
 func (c *Chain) Transfer(at sim.Time, n int64) sim.Time {

@@ -3,6 +3,7 @@ package nvm
 import (
 	"fmt"
 
+	"oocnvm/internal/obs"
 	"oocnvm/internal/sim"
 )
 
@@ -79,11 +80,6 @@ type Device struct {
 
 	breakdown  Breakdown
 	pal        PALHistogram
-	bytesRead  int64
-	bytesWrit  int64
-	reads      int64
-	programs   int64
-	erases     int64
 	eraseCount map[Location]int64 // wear accounting per die/plane
 	started    bool
 	firstIssue sim.Time
@@ -94,7 +90,20 @@ type Device struct {
 	// register, so register staging no longer occupies the die.
 	cacheMode bool
 
-	latency latencyHistogram
+	// The device's work counters and latency histogram live in a private
+	// obs.Registry so Stats is assembled from the registry in one place and
+	// a run-level collector can absorb them for export. The probe receives
+	// only spans (bus transfers, die activations); counters never go
+	// through it, so absorbing the registry cannot double-count.
+	reg      *obs.Registry
+	probe    obs.Probe
+	cReads   *obs.Counter
+	cProgs   *obs.Counter
+	cErases  *obs.Counter
+	cBytesRd *obs.Counter
+	cBytesWr *obs.Counter
+	cPAL     [4]*obs.Counter
+	hLatency *obs.Histogram
 }
 
 // EnableCacheMode turns on dual-register cache operation (see the cacheMode
@@ -127,7 +136,37 @@ func NewDevice(geo Geometry, cell CellParams, bus BusParams, link Link, seed uin
 		d.pkgCover[c] = make([]sim.IntervalSet, geo.PackagesPerChannel)
 		d.dieContMark[c] = make([]sim.Time, geo.DiesPerChannel())
 	}
+	d.probe = obs.Nop{}
+	d.bindMetrics(obs.NewRegistry())
 	return d, nil
+}
+
+// bindMetrics points the device's counter handles into r.
+func (d *Device) bindMetrics(r *obs.Registry) {
+	d.reg = r
+	d.cReads = r.Counter("nvm.reads")
+	d.cProgs = r.Counter("nvm.programs")
+	d.cErases = r.Counter("nvm.erases")
+	d.cBytesRd = r.Counter("nvm.bytes_read")
+	d.cBytesWr = r.Counter("nvm.bytes_written")
+	d.cPAL[0] = r.Counter("nvm.pal1")
+	d.cPAL[1] = r.Counter("nvm.pal2")
+	d.cPAL[2] = r.Counter("nvm.pal3")
+	d.cPAL[3] = r.Counter("nvm.pal4")
+	d.hLatency = r.Histogram("nvm.device.latency")
+}
+
+// Registry exposes the device's private metrics registry (work counters,
+// PAL tallies, the request-latency histogram, and the derived gauges Stats
+// refreshes). Absorb it into a run-level registry for export.
+func (d *Device) Registry() *obs.Registry { return d.reg }
+
+// SetProbe attaches an observability probe: the device emits spans for
+// every die activation and channel-bus transfer through it. A nil probe
+// resets to the free no-op probe.
+func (d *Device) SetProbe(p obs.Probe) {
+	d.probe = obs.OrNop(p)
+	obs.Instrument(d.link, p)
 }
 
 // regTime is the register/SRAM staging cost between a die's page register and
@@ -204,7 +243,13 @@ func (d *Device) Submit(at sim.Time, ops []PageOp) sim.Time {
 		pal = PAL2
 	}
 	d.pal.Record(pal)
-	d.latency.record(end - at)
+	d.cPAL[pal-1].Inc()
+	d.hLatency.Observe(end - at)
+	if d.probe.Enabled() {
+		d.probe.Span(obs.LayerNVM, "device", "submit", at, end,
+			obs.Attr{Key: "ops", Value: len(ops)},
+			obs.Attr{Key: "pal", Value: pal.String()})
+	}
 
 	d.lastEnd = sim.MaxTime(d.lastEnd, end)
 	return end
@@ -335,6 +380,15 @@ func (d *Device) execActivation(issue sim.Time, a activation) sim.Time {
 	reg := d.regTime()
 	xfer := d.Bus.TransferTime(d.Cell.PageSize)
 
+	// Trace tracks: one "thread" per die and per channel bus. Names are
+	// built only when a live probe will consume the spans.
+	probing := d.probe.Enabled()
+	var dieTrack, busTrack string
+	if probing {
+		dieTrack = fmt.Sprintf("ch%02d/die%02d", a.loc.Channel, a.loc.Die)
+		busTrack = fmt.Sprintf("ch%02d/bus", a.loc.Channel)
+	}
+
 	switch a.ops[0].Op {
 	case OpRead:
 		// Command/address cycles reach the die through the channel; they are
@@ -347,6 +401,9 @@ func (d *Device) execActivation(issue sim.Time, a activation) sim.Time {
 		d.chargeDieWait(a.loc.Channel, a.loc.Die, issue, as)
 		d.breakdown.CellActivation += d.Cell.ReadLatency
 		d.markDie(a.loc.Channel, a.loc.Die, as, ae)
+		if probing {
+			d.probe.Span(obs.LayerNVM, dieTrack, "sense", as, ae)
+		}
 		// Per merged page: register staging then data-out then DMA. In cache
 		// mode the staging drains from the secondary register, leaving the
 		// die free to sense the next page immediately.
@@ -365,12 +422,16 @@ func (d *Device) execActivation(issue sim.Time, a activation) sim.Time {
 			d.chargeChanWait(a.loc.Channel, re, xs)
 			d.breakdown.ChannelBus += xfer
 			d.markChan(a.loc.Channel, xs, xe)
+			if probing {
+				d.probe.Span(obs.LayerNVM, dieTrack, "stage", rs, re)
+				d.probe.Span(obs.LayerNVM, busTrack, "xfer", xs, xe)
+			}
 			de := d.link.Transfer(xe, d.Cell.PageSize)
 			d.breakdown.NonOverlappedDMA += de - xe
 			cursor = re
 			end = sim.MaxTime(end, de)
-			d.bytesRead += d.Cell.PageSize
-			d.reads++
+			d.cBytesRd.Add(d.Cell.PageSize)
+			d.cReads.Inc()
 		}
 		return end
 
@@ -393,9 +454,13 @@ func (d *Device) execActivation(issue sim.Time, a activation) sim.Time {
 			rs, re := die.Acquire(xe, reg)
 			d.breakdown.FlashBus += reg
 			d.markDie(a.loc.Channel, a.loc.Die, rs, re)
+			if probing {
+				d.probe.Span(obs.LayerNVM, busTrack, "xfer", xs, xe)
+				d.probe.Span(obs.LayerNVM, dieTrack, "stage", rs, re)
+			}
 			cursor = xe
-			d.bytesWrit += d.Cell.PageSize
-			d.programs++
+			d.cBytesWr.Add(d.Cell.PageSize)
+			d.cProgs.Inc()
 		}
 		// One program covers all merged planes.
 		lat := d.Cell.ProgramLatency(d.rng)
@@ -403,6 +468,9 @@ func (d *Device) execActivation(issue sim.Time, a activation) sim.Time {
 		d.chargeDieWait(a.loc.Channel, a.loc.Die, cursor, ps)
 		d.breakdown.CellActivation += lat
 		d.markDie(a.loc.Channel, a.loc.Die, ps, pe)
+		if probing {
+			d.probe.Span(obs.LayerNVM, dieTrack, "program", ps, pe)
+		}
 		return pe
 
 	case OpErase:
@@ -411,8 +479,11 @@ func (d *Device) execActivation(issue sim.Time, a activation) sim.Time {
 		d.chargeDieWait(a.loc.Channel, a.loc.Die, issue, es)
 		d.breakdown.CellActivation += d.Cell.EraseLatency
 		d.markDie(a.loc.Channel, a.loc.Die, es, ee)
+		if probing {
+			d.probe.Span(obs.LayerNVM, dieTrack, "erase", es, ee)
+		}
 		for _, op := range a.ops {
-			d.erases++
+			d.cErases.Inc()
 			key := Location{Channel: op.Loc.Channel, Die: op.Loc.Die, Plane: op.Loc.Plane}
 			d.eraseCount[key]++
 		}

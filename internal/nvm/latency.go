@@ -2,32 +2,6 @@ package nvm
 
 import "oocnvm/internal/sim"
 
-// latencyHistogram tracks per-request completion latency in logarithmic
-// buckets (powers of two of microseconds), enough resolution for the
-// p50/p95/p99 reporting real device evaluations use.
-type latencyHistogram struct {
-	buckets [48]int64 // bucket i: latency in [2^i, 2^(i+1)) microseconds... sub-us in bucket 0
-	count   int64
-	max     sim.Time
-}
-
-func (h *latencyHistogram) record(lat sim.Time) {
-	if lat < 0 {
-		lat = 0
-	}
-	us := int64(lat / sim.Microsecond)
-	b := 0
-	for us > 0 && b < len(h.buckets)-1 {
-		us >>= 1
-		b++
-	}
-	h.buckets[b]++
-	h.count++
-	if lat > h.max {
-		h.max = lat
-	}
-}
-
 // LatencyStats summarizes the request-latency distribution.
 type LatencyStats struct {
 	Count int64
@@ -37,37 +11,17 @@ type LatencyStats struct {
 	Max   sim.Time
 }
 
-// Latency reports the request-latency distribution observed so far.
-// Percentiles are upper bucket bounds (conservative).
+// Latency reports the request-latency distribution observed so far, read
+// from the device's "nvm.device.latency" histogram in the metrics registry.
+// Percentiles are conservative bucket upper bounds clamped to the observed
+// maximum.
 func (d *Device) Latency() LatencyStats {
-	h := &d.latency
-	st := LatencyStats{Count: h.count, Max: h.max}
-	if h.count == 0 {
-		return st
+	s := d.hLatency.Snapshot()
+	return LatencyStats{
+		Count: s.Count,
+		P50:   sim.Time(s.P50Ps),
+		P95:   sim.Time(s.P95Ps),
+		P99:   sim.Time(s.P99Ps),
+		Max:   sim.Time(s.MaxPs),
 	}
-	pct := func(p float64) sim.Time {
-		target := int64(p * float64(h.count))
-		if target < 1 {
-			target = 1
-		}
-		var seen int64
-		for b, n := range h.buckets {
-			seen += n
-			if seen >= target {
-				// Upper bound of bucket b: 2^b microseconds.
-				return sim.Time(int64(1)<<uint(b)) * sim.Microsecond
-			}
-		}
-		return h.max
-	}
-	clamp := func(v sim.Time) sim.Time {
-		if st.Max > 0 && v > st.Max {
-			return st.Max
-		}
-		return v
-	}
-	st.P50 = clamp(pct(0.50))
-	st.P95 = clamp(pct(0.95))
-	st.P99 = clamp(pct(0.99))
-	return st
 }

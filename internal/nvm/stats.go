@@ -30,7 +30,7 @@ func (d *Device) Span() sim.Time {
 // Bandwidth reports achieved data bandwidth (read+write bytes over the span)
 // in bytes per second.
 func (d *Device) Bandwidth() float64 {
-	return sim.Rate(d.bytesRead+d.bytesWrit, d.Span())
+	return sim.Rate(d.cBytesRd.Value()+d.cBytesWr.Value(), d.Span())
 }
 
 // ChannelUtilization is the paper's Figure 9a metric: the average fraction
@@ -78,14 +78,19 @@ func (d *Device) BusOccupancy() float64 {
 	return sum / float64(len(d.chanBus))
 }
 
-// Stats snapshots all measurements.
+// Stats snapshots all measurements, assembling the work counters from the
+// device's metrics registry (the registry is the single source of truth
+// since the obs layer landed). It also refreshes the registry's derived
+// gauges — breakdown components, utilizations, span and bandwidth — so a
+// collector absorbing the registry exports the same numbers this snapshot
+// reports.
 func (d *Device) Stats() Stats {
-	return Stats{
-		BytesRead:    d.bytesRead,
-		BytesWritten: d.bytesWrit,
-		Reads:        d.reads,
-		Programs:     d.programs,
-		Erases:       d.erases,
+	st := Stats{
+		BytesRead:    d.cBytesRd.Value(),
+		BytesWritten: d.cBytesWr.Value(),
+		Reads:        d.cReads.Value(),
+		Programs:     d.cProgs.Value(),
+		Erases:       d.cErases.Value(),
 		Span:         d.Span(),
 		Breakdown:    d.breakdown,
 		PAL:          d.pal,
@@ -94,6 +99,18 @@ func (d *Device) Stats() Stats {
 		PackageUtilization: d.PackageUtilization(),
 		BusOccupancy:       d.BusOccupancy(),
 	}
+	d.reg.Gauge("nvm.span_ps").Set(float64(st.Span))
+	d.reg.Gauge("nvm.bandwidth_bps").Set(d.Bandwidth())
+	d.reg.Gauge("nvm.channel_utilization").Set(st.ChannelUtilization)
+	d.reg.Gauge("nvm.package_utilization").Set(st.PackageUtilization)
+	d.reg.Gauge("nvm.bus_occupancy").Set(st.BusOccupancy)
+	d.reg.Gauge("nvm.breakdown.non_overlapped_dma_ps").Set(float64(st.Breakdown.NonOverlappedDMA))
+	d.reg.Gauge("nvm.breakdown.flash_bus_ps").Set(float64(st.Breakdown.FlashBus))
+	d.reg.Gauge("nvm.breakdown.channel_bus_ps").Set(float64(st.Breakdown.ChannelBus))
+	d.reg.Gauge("nvm.breakdown.cell_contention_ps").Set(float64(st.Breakdown.CellContention))
+	d.reg.Gauge("nvm.breakdown.channel_contention_ps").Set(float64(st.Breakdown.ChannelContention))
+	d.reg.Gauge("nvm.breakdown.cell_activation_ps").Set(float64(st.Breakdown.CellActivation))
+	return st
 }
 
 // EraseCount reports how many erases a given die/plane has absorbed, for the

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"testing"
+
+	"oocnvm/internal/sim"
+)
+
+func TestNopProbeIsFree(t *testing.T) {
+	var p Probe = Nop{}
+	if p.Enabled() {
+		t.Fatal("Nop reports enabled")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		p.Span(LayerNVM, "ch0/die0", "sense", 0, sim.Microsecond)
+		p.Count("nvm.reads", 1)
+		p.Observe("nvm.device.latency", sim.Microsecond)
+		p.SetGauge("nvm.bw", 1.0)
+	})
+	if allocs != 0 {
+		t.Fatalf("Nop probe allocates %.1f per run", allocs)
+	}
+}
+
+func TestOrNop(t *testing.T) {
+	if _, ok := OrNop(nil).(Nop); !ok {
+		t.Fatal("OrNop(nil) is not Nop")
+	}
+	c := NewCollector()
+	if OrNop(c) != Probe(c) {
+		t.Fatal("OrNop rewrote a live probe")
+	}
+}
+
+func TestCollectorRoutes(t *testing.T) {
+	c := NewCollector()
+	if !c.Enabled() {
+		t.Fatal("collector disabled")
+	}
+	c.Count("x.ops", 3)
+	c.Observe("x.lat", 2*sim.Microsecond)
+	c.SetGauge("x.bw", 7.5)
+	c.Span(LayerSSD, "queue", "R", 0, sim.Microsecond, Attr{Key: "size", Value: int64(4096)})
+	if c.Reg.Counter("x.ops").Value() != 3 {
+		t.Fatal("count not routed")
+	}
+	if c.Reg.Histogram("x.lat").Count() != 1 {
+		t.Fatal("observe not routed")
+	}
+	if c.Reg.Gauge("x.bw").Value() != 7.5 {
+		t.Fatal("gauge not routed")
+	}
+	if c.Tr.Len() != 1 {
+		t.Fatal("span not routed")
+	}
+}
+
+func TestCollectorNilPartsTolerated(t *testing.T) {
+	c := &Collector{}
+	c.Count("x", 1)
+	c.Observe("x", 1)
+	c.SetGauge("x", 1)
+	c.Span(LayerSSD, "q", "R", 0, 1)
+	if err := c.WriteTraceFile("/dev/null"); err == nil {
+		t.Fatal("nil tracer write did not error")
+	}
+	if err := c.WriteMetricsFile("/dev/null"); err == nil {
+		t.Fatal("nil registry write did not error")
+	}
+}
+
+type probed struct{ p Probe }
+
+func (x *probed) SetProbe(p Probe) { x.p = p }
+
+func TestInstrument(t *testing.T) {
+	x := &probed{}
+	c := NewCollector()
+	if !Instrument(x, c) {
+		t.Fatal("Instrument refused a SetProbe implementor")
+	}
+	if x.p != Probe(c) {
+		t.Fatal("probe not attached")
+	}
+	if Instrument(struct{}{}, c) {
+		t.Fatal("Instrument accepted a non-implementor")
+	}
+}

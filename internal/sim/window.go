@@ -1,7 +1,5 @@
 package sim
 
-import "container/heap"
-
 // Window models the host's bounded set of in-flight operations. Two limits
 // apply simultaneously:
 //
@@ -12,12 +10,14 @@ import "container/heap"
 //
 // A new operation may only issue once both limits hold. Completion times are
 // tracked in a min-heap so admission order is by earliest completion,
-// independent of issue order.
+// independent of issue order. The heap is hand-rolled over the concrete
+// element type: container/heap would box every element into an interface,
+// allocating once per admitted operation on the replay hot path.
 type Window struct {
 	depth    int
 	maxBytes int64
 	bytes    int64
-	heap     opHeap
+	heap     []inflightOp
 }
 
 // NewWindow returns a window admitting up to depth concurrent operations and
@@ -48,7 +48,7 @@ func (w *Window) Admit(at Time, size int64) Time {
 	for len(w.heap) > 0 &&
 		(len(w.heap) >= w.depth ||
 			(w.maxBytes > 0 && w.bytes+size > w.maxBytes)) {
-		op := heap.Pop(&w.heap).(inflightOp)
+		op := w.pop()
 		w.bytes -= op.size
 		t = MaxTime(t, op.end)
 	}
@@ -59,7 +59,7 @@ func (w *Window) Admit(at Time, size int64) Time {
 // Complete records the completion time of the most recently admitted
 // operation. The size must match the Admit call.
 func (w *Window) Complete(end Time, size int64) {
-	heap.Push(&w.heap, inflightOp{end: end, size: size})
+	w.push(inflightOp{end: end, size: size})
 }
 
 // Drain returns the completion time of the last operation to finish and
@@ -67,7 +67,7 @@ func (w *Window) Complete(end Time, size int64) {
 func (w *Window) Drain() Time {
 	var last Time
 	for len(w.heap) > 0 {
-		last = MaxTime(last, heap.Pop(&w.heap).(inflightOp).end)
+		last = MaxTime(last, w.pop().end)
 	}
 	w.bytes = 0
 	return last
@@ -81,16 +81,41 @@ type inflightOp struct {
 	size int64
 }
 
-type opHeap []inflightOp
+// push inserts op, maintaining the min-heap ordering on end time.
+func (w *Window) push(op inflightOp) {
+	w.heap = append(w.heap, op)
+	h := w.heap
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].end <= h[i].end {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
 
-func (h opHeap) Len() int            { return len(h) }
-func (h opHeap) Less(i, j int) bool  { return h[i].end < h[j].end }
-func (h opHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *opHeap) Push(x interface{}) { *h = append(*h, x.(inflightOp)) }
-func (h *opHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// pop removes and returns the earliest-completing operation.
+func (w *Window) pop() inflightOp {
+	h := w.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	w.heap = h[:n]
+	for i := 0; ; {
+		small := i
+		if l := 2*i + 1; l < n && h[l].end < h[small].end {
+			small = l
+		}
+		if r := 2*i + 2; r < n && h[r].end < h[small].end {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top
 }

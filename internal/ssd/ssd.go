@@ -8,8 +8,11 @@ package ssd
 
 import (
 	"fmt"
+	"strings"
+	"text/tabwriter"
 
 	"oocnvm/internal/nvm"
+	"oocnvm/internal/obs"
 	"oocnvm/internal/sim"
 	"oocnvm/internal/trace"
 )
@@ -99,6 +102,9 @@ type Config struct {
 	// CacheMode enables the dies' dual-register cache operation.
 	CacheMode bool
 	Seed      uint64
+	// Probe receives per-request spans and latency observations. Nil means
+	// observability off (a no-op probe, free on the hot path).
+	Probe obs.Probe
 }
 
 // DefaultQueueDepth is the native command queue depth used throughout the
@@ -117,6 +123,16 @@ type SSD struct {
 	hostOverhead sim.Time
 	clock        sim.Time
 	dataBytes    int64
+	probe        obs.Probe
+}
+
+// SetProbe attaches an observability probe to the drive, its device, and
+// (when the translator is probeable, like the FTL) the translation layer.
+// A nil probe disables probing.
+func (s *SSD) SetProbe(p obs.Probe) {
+	s.probe = obs.OrNop(p)
+	s.Dev.SetProbe(p)
+	obs.Instrument(s.trans, p)
 }
 
 // New builds an SSD from the configuration.
@@ -137,12 +153,17 @@ func New(cfg Config) (*SSD, error) {
 	if cfg.CacheMode {
 		dev.EnableCacheMode()
 	}
-	return &SSD{
+	s := &SSD{
 		Dev:          dev,
 		trans:        cfg.Translator,
 		win:          sim.NewWindow(cfg.QueueDepth, cfg.WindowBytes),
 		hostOverhead: cfg.HostOverhead,
-	}, nil
+		probe:        obs.Nop{},
+	}
+	if cfg.Probe != nil {
+		s.SetProbe(cfg.Probe)
+	}
+	return s, nil
 }
 
 // Result captures one replay's measurements.
@@ -159,10 +180,35 @@ type Result struct {
 // paper's charts.
 func (r Result) MBps() float64 { return r.Bandwidth / 1e6 }
 
+// String renders the result as an aligned table: the headline numbers, the
+// media work counters, the utilization metrics, and the Figure 8 time
+// breakdown.
+func (r Result) String() string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "elapsed\t%v\n", r.Elapsed)
+	fmt.Fprintf(w, "data\t%d MiB\n", r.DataBytes>>20)
+	fmt.Fprintf(w, "bandwidth\t%.1f MB/s\n", r.MBps())
+	fmt.Fprintf(w, "media ops\t%d reads, %d programs, %d erases\n",
+		r.Stats.Reads, r.Stats.Programs, r.Stats.Erases)
+	fmt.Fprintf(w, "media bytes\t%d MiB read, %d MiB written\n",
+		r.Stats.BytesRead>>20, r.Stats.BytesWritten>>20)
+	fmt.Fprintf(w, "channel util\t%.1f%%\n", 100*r.Stats.ChannelUtilization)
+	fmt.Fprintf(w, "package util\t%.1f%%\n", 100*r.Stats.PackageUtilization)
+	fmt.Fprintf(w, "bus occupancy\t%.1f%%\n", 100*r.Stats.BusOccupancy)
+	p := r.Stats.Breakdown.Percentages()
+	for i, label := range nvm.BreakdownLabels {
+		fmt.Fprintf(w, "  %s\t%5.1f%%\n", label, 100*p[i])
+	}
+	w.Flush()
+	return b.String()
+}
+
 // Submit drives one block operation through the stack at the SSD's current
 // clock and returns its completion time. Sync operations drain the queue
 // before issuing and hold back subsequent operations until they complete.
 func (s *SSD) Submit(op trace.BlockOp) sim.Time {
+	arrive := s.clock
 	if op.Sync {
 		s.clock = sim.MaxTime(s.clock, s.win.Drain())
 	}
@@ -186,6 +232,19 @@ func (s *SSD) Submit(op trace.BlockOp) sim.Time {
 	if !op.Meta {
 		s.dataBytes += op.Size
 	}
+	s.probe.Count("ssd.ops", 1)
+	s.probe.Count("ssd.bytes", op.Size)
+	if !op.Meta {
+		s.probe.Count("ssd.data_bytes", op.Size)
+	}
+	s.probe.Observe("ssd.queue.wait", issue-arrive)
+	s.probe.Observe("ssd.request.latency", end-arrive)
+	if s.probe.Enabled() {
+		s.probe.Span(obs.LayerSSD, "queue", op.Kind.String(), arrive, end,
+			obs.Attr{Key: "offset", Value: op.Offset},
+			obs.Attr{Key: "size", Value: op.Size},
+			obs.Attr{Key: "pages", Value: int64(len(pageOps))})
+	}
 	return end
 }
 
@@ -203,10 +262,13 @@ func (s *SSD) Replay(ops []trace.BlockOp) Result {
 func (s *SSD) Finish() Result {
 	s.clock = sim.MaxTime(s.clock, s.win.Drain())
 	st := s.Dev.Stats()
-	return Result{
+	r := Result{
 		Elapsed:   st.Span,
 		DataBytes: s.dataBytes,
 		Bandwidth: sim.Rate(s.dataBytes, st.Span),
 		Stats:     st,
 	}
+	s.probe.SetGauge("ssd.span_ps", float64(r.Elapsed))
+	s.probe.SetGauge("ssd.bandwidth_bps", r.Bandwidth)
+	return r
 }

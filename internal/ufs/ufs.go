@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"sort"
 
+	"oocnvm/internal/obs"
+	"oocnvm/internal/sim"
 	"oocnvm/internal/trace"
 )
 
@@ -43,7 +45,12 @@ type UFS struct {
 	extents   map[string]*Extent
 	erased    map[int64]bool  // eraseblock index -> clean
 	wear      map[int64]int64 // eraseblock index -> erase count
+
+	probe obs.Probe
 }
+
+// SetProbe attaches an observability probe counting extent operations.
+func (u *UFS) SetProbe(p obs.Probe) { u.probe = obs.OrNop(p) }
 
 // New creates a UFS over a device of the given capacity and eraseblock size.
 // All blocks start clean (factory state).
@@ -60,6 +67,7 @@ func New(capacity, blockSize int64) (*UFS, error) {
 		extents:   make(map[string]*Extent),
 		erased:    make(map[int64]bool),
 		wear:      make(map[int64]int64),
+		probe:     obs.Nop{},
 	}
 	for b := int64(0); b < capacity/blockSize; b++ {
 		u.erased[b] = true
@@ -136,6 +144,8 @@ func (u *UFS) Read(name string, off, size int64) ([]trace.BlockOp, error) {
 	if off < 0 || size < 0 || off+size > e.Size {
 		return nil, fmt.Errorf("ufs: read %q: range [%d,%d) outside extent of %d bytes", name, off, off+size, e.Size)
 	}
+	u.probe.Count("ufs.reads", 1)
+	u.probe.Count("ufs.read_bytes", size)
 	return chunk(trace.Read, e.Offset+off, size), nil
 }
 
@@ -163,6 +173,8 @@ func (u *UFS) Write(name string, off, size int64) ([]trace.BlockOp, error) {
 	for b := first; b <= last; b++ {
 		u.erased[b] = false
 	}
+	u.probe.Count("ufs.writes", 1)
+	u.probe.Count("ufs.write_bytes", size)
 	return chunk(trace.Write, e.Offset+off, size), nil
 }
 
@@ -183,6 +195,7 @@ func (u *UFS) Erase(name string) ([]trace.BlockOp, error) {
 		u.wear[b]++
 		ops = append(ops, trace.BlockOp{Kind: trace.Erase, Offset: b * u.blockSize, Size: u.blockSize, Meta: true})
 	}
+	u.probe.Count("ufs.erases", last-first+1)
 	return ops, nil
 }
 
@@ -215,22 +228,42 @@ func chunk(kind trace.Kind, off, size int64) []trace.BlockOp {
 
 // AsFileSystem adapts UFS to the fs.FileSystem contract for the comparison
 // harness: POSIX offsets are treated as raw device addresses and passed
-// through unchanged except for MaxRequest chunking.
-type AsFileSystem struct{}
+// through unchanged except for MaxRequest chunking. Use a pointer so an
+// attached probe survives across Transform calls.
+type AsFileSystem struct {
+	probe obs.Probe
+	seq   int64 // synthetic translate-span timeline position
+}
+
+// SetProbe attaches an observability probe. Like the fs package's
+// translators, translate spans land on a synthetic one-request-per-
+// microsecond timeline showing fan-out, not timing.
+func (a *AsFileSystem) SetProbe(p obs.Probe) { a.probe = obs.OrNop(p) }
 
 // Name returns "UFS".
-func (AsFileSystem) Name() string { return "UFS" }
+func (*AsFileSystem) Name() string { return "UFS" }
 
 // ReadAhead reports the application-managed in-flight window: UFS clients
 // issue asynchronous raw-address requests, so the pipeline is bounded by
 // queue entries, not by a kernel readahead heuristic.
-func (AsFileSystem) ReadAhead() int64 { return 256 * 1024 * 1024 }
+func (*AsFileSystem) ReadAhead() int64 { return 256 * 1024 * 1024 }
 
 // Transform passes the stream through, preserving size and sequentiality.
-func (AsFileSystem) Transform(ops []trace.PosixOp) []trace.BlockOp {
+func (a *AsFileSystem) Transform(ops []trace.PosixOp) []trace.BlockOp {
+	probe := obs.OrNop(a.probe)
 	var out []trace.BlockOp
 	for _, op := range ops {
+		outBefore := len(out)
 		out = append(out, chunk(op.Kind, op.Offset, op.Size)...)
+		probe.Count("ufs.posix_ops", 1)
+		probe.Count("ufs.block_ops", int64(len(out)-outBefore))
+		if probe.Enabled() {
+			t := sim.Time(a.seq) * sim.Microsecond
+			probe.Span(obs.LayerUFS, "passthrough", "translate", t, t+sim.Microsecond,
+				obs.Attr{Key: "in_bytes", Value: op.Size},
+				obs.Attr{Key: "out_ops", Value: int64(len(out) - outBefore)})
+		}
+		a.seq++
 	}
 	return out
 }
