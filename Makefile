@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: all build vet test race check fmt
+.PHONY: all build vet test race check fmt fuzz cover
+FUZZTIME ?= 10s
 
 all: check
 
@@ -18,5 +19,14 @@ race:
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# Short bounded fuzz pass over the FTL mapping and ECC classification
+# harnesses; FUZZTIME=1m make fuzz for a longer soak.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzFTLMapping -fuzztime=$(FUZZTIME) ./internal/ftl
+	$(GO) test -run=^$$ -fuzz=FuzzReadClassify -fuzztime=$(FUZZTIME) ./internal/fault
+
+cover:
+	$(GO) test -cover ./... | tee coverage.txt
 
 check: fmt vet build race

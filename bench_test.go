@@ -287,7 +287,7 @@ func BenchmarkAblationMultiplane(b *testing.B) {
 		drive, err := ssd.New(ssd.Config{
 			Geometry: geo, Cell: cp, Bus: nvm.FutureDDR(),
 			Link:       interconnect.Infinite{},
-			Translator: ssd.Direct{Geo: geo, Cell: cp},
+			Translator: ssd.NewDirect(geo, cp),
 			Seed:       1,
 		})
 		if err != nil {
@@ -448,7 +448,7 @@ func BenchmarkSimulatorPageThroughput(b *testing.B) {
 	drive, err := ssd.New(ssd.Config{
 		Geometry: geo, Cell: cp, Bus: nvm.ONFi3SDR(),
 		Link:       interconnect.Infinite{},
-		Translator: ssd.Direct{Geo: geo, Cell: cp},
+		Translator: ssd.NewDirect(geo, cp),
 		Seed:       1,
 	})
 	if err != nil {
@@ -509,7 +509,7 @@ func BenchmarkAblationBusLadder(b *testing.B) {
 			drive, err := ssd.New(ssd.Config{
 				Geometry: geo, Cell: cp, Bus: bus,
 				Link:       interconnect.Infinite{},
-				Translator: ssd.Direct{Geo: geo, Cell: cp},
+				Translator: ssd.NewDirect(geo, cp),
 				Seed:       1,
 			})
 			if err != nil {
@@ -543,7 +543,7 @@ func BenchmarkAblationPAQ(b *testing.B) {
 		drive, err := ssd.New(ssd.Config{
 			Geometry: geo, Cell: cp, Bus: nvm.ONFi3SDR(),
 			Link:       interconnect.Infinite{},
-			Translator: ssd.Direct{Geo: geo, Cell: cp},
+			Translator: ssd.NewDirect(geo, cp),
 			QueueDepth: 2, Seed: 1,
 		})
 		if err != nil {
@@ -607,7 +607,7 @@ func BenchmarkAblationDieCount(b *testing.B) {
 			drive, err := ssd.New(ssd.Config{
 				Geometry: geo, Cell: cp, Bus: nvm.FutureDDR(),
 				Link:       interconnect.Infinite{},
-				Translator: ssd.Direct{Geo: geo, Cell: cp},
+				Translator: ssd.NewDirect(geo, cp),
 				Seed:       1,
 			})
 			if err != nil {
@@ -633,7 +633,7 @@ func BenchmarkAblationCacheMode(b *testing.B) {
 		drive, err := ssd.New(ssd.Config{
 			Geometry: geo, Cell: cp, Bus: nvm.FutureDDR(),
 			Link:       interconnect.Infinite{},
-			Translator: ssd.Direct{Geo: geo, Cell: cp},
+			Translator: ssd.NewDirect(geo, cp),
 			CacheMode:  cache,
 			Seed:       1,
 		})

@@ -81,7 +81,7 @@ func run(cellName, busName string, gen, lanes int, bridged bool, pattern, kind s
 		Cell:        cp,
 		Bus:         bus,
 		Link:        interconnect.NewPCIeLine(pcie),
-		Translator:  ssd.Direct{Geo: geo, Cell: cp},
+		Translator:  ssd.NewDirect(geo, cp),
 		QueueDepth:  qd,
 		WindowBytes: windowKiB << 10,
 		Seed:        seed,

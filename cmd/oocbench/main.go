@@ -18,6 +18,7 @@ import (
 	"oocnvm/internal/cluster"
 	"oocnvm/internal/energy"
 	"oocnvm/internal/experiment"
+	"oocnvm/internal/fault"
 	"oocnvm/internal/nvm"
 	"oocnvm/internal/obs"
 	"oocnvm/internal/ooc"
@@ -42,6 +43,9 @@ func main() {
 		qd       = flag.Int("qd", 32, "host queue depth")
 		traceOut = flag.String("trace-out", "", "write a Chrome trace_event JSON file of all probed runs")
 		metrics  = flag.String("metrics-out", "", "write the aggregate metrics registry (JSON, or CSV with a .csv suffix)")
+		faultP   = flag.String("fault-profile", "none", "reliability profile for the achieved runs: none, fresh, worn, eol")
+		retDays  = flag.Float64("retention-days", 0, "age all data by this many days of retention")
+		precycle = flag.Int64("precycle", 0, "pre-age every block by this many P/E cycles")
 	)
 	flag.Parse()
 
@@ -53,6 +57,14 @@ func main() {
 	}
 	opt.Seed = *seed
 	opt.QueueDepth = *qd
+	prof, err := fault.ForName(*faultP)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oocbench:", err)
+		os.Exit(1)
+	}
+	opt.Fault = prof
+	opt.RetentionDays = *retDays
+	opt.PrecyclePE = *precycle
 	if *traceOut != "" || *metrics != "" {
 		opt.Obs = obs.NewCollector()
 	}

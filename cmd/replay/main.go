@@ -11,6 +11,7 @@ import (
 	"os"
 
 	"oocnvm/internal/experiment"
+	"oocnvm/internal/fault"
 	"oocnvm/internal/ftl"
 	"oocnvm/internal/nvm"
 	"oocnvm/internal/obs"
@@ -19,17 +20,21 @@ import (
 )
 
 type options struct {
-	file       string
-	asJSON     bool
-	cfgName    string
-	cellName   string
-	qd         int
-	windowKiB  int64
-	paqDepth   int
-	cache      bool
-	seed       uint64
-	traceOut   string
-	metricsOut string
+	file          string
+	asJSON        bool
+	cfgName       string
+	cellName      string
+	qd            int
+	windowKiB     int64
+	paqDepth      int
+	cache         bool
+	seed          uint64
+	traceOut      string
+	metricsOut    string
+	faultProfile  string
+	retentionDays float64
+	precycle      int64
+	spares        int64
 }
 
 func main() {
@@ -45,6 +50,10 @@ func main() {
 	flag.Uint64Var(&o.seed, "seed", 42, "seed")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write a Chrome trace_event JSON file (open in chrome://tracing or Perfetto)")
 	flag.StringVar(&o.metricsOut, "metrics-out", "", "write the metrics registry (JSON, or CSV with a .csv suffix)")
+	flag.StringVar(&o.faultProfile, "fault-profile", "none", "reliability profile: none, fresh, worn, eol")
+	flag.Float64Var(&o.retentionDays, "retention-days", 0, "age all data by this many days of retention")
+	flag.Int64Var(&o.precycle, "precycle", 0, "pre-age every block by this many P/E cycles")
+	flag.Int64Var(&o.spares, "spares", 0, "spare-block budget before read-only degradation (0 = default)")
 	flag.Parse()
 	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "replay:", err)
@@ -93,7 +102,7 @@ func run(o options, w io.Writer) error {
 	cp := nvm.Params(cell)
 	var translator ssd.Translator
 	if cfg.Kind == experiment.FSUFS {
-		translator = ssd.Direct{Geo: geo, Cell: cp}
+		translator = ssd.NewDirect(geo, cp)
 	} else {
 		ft, err := ftl.New(geo, cp, ftl.Config{})
 		if err != nil {
@@ -124,6 +133,24 @@ func run(o options, w io.Writer) error {
 	if col != nil {
 		sc.Probe = col
 	}
+	if o.faultProfile == "" {
+		o.faultProfile = "none"
+	}
+	prof, err := fault.ForName(o.faultProfile)
+	if err != nil {
+		return err
+	}
+	if prof.Enabled() || o.retentionDays > 0 || o.precycle > 0 {
+		fc := nvm.FaultConfig(geo, cp, prof, o.seed)
+		fc.RetentionDays = o.retentionDays
+		fc.PrecyclePE = o.precycle
+		fc.SpareBlocks = o.spares
+		inj, err := fault.New(fc)
+		if err != nil {
+			return err
+		}
+		sc.Fault = inj
+	}
 	drive, err := ssd.New(sc)
 	if err != nil {
 		return err
@@ -144,6 +171,14 @@ func run(o options, w io.Writer) error {
 	fmt.Fprintf(w, "config: %s on %s (%s, %s)\n", cfg.Name, cell, cfg.PCIe, cfg.Bus.Name)
 	fmt.Fprint(w, res)
 	fmt.Fprintf(w, "latency: p50 %v  p95 %v  p99 %v  max %v\n", lat.P50, lat.P95, lat.P99, lat.Max)
+	if sc.Fault != nil {
+		fmt.Fprintf(w, "fault profile: %s (retention %.0f days, precycle %d PE)\n",
+			o.faultProfile, sc.Fault.Profile().RetentionDays, o.precycle)
+		fmt.Fprint(w, res.Faults)
+		if err := drive.Err(); err != nil {
+			fmt.Fprintf(w, "first error: %v\n", err)
+		}
+	}
 
 	if col != nil {
 		col.Reg.Absorb(drive.Dev.Registry())

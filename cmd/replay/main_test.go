@@ -207,3 +207,57 @@ func TestReplayNoExportFlagsNoFiles(t *testing.T) {
 		t.Fatal("stage table printed without a collector")
 	}
 }
+
+// TestReplayFaultProfileEndToEnd runs the CLI pipeline with the eol fault
+// profile on a TLC drive and checks the fault machinery surfaces in the
+// console output: the profile banner, the fault summary counters, and the
+// first-error line for uncorrectable reads. A "none" run of the same trace
+// must print no fault summary at all.
+func TestReplayFaultProfileEndToEnd(t *testing.T) {
+	file := writeTestTrace(t)
+	var out bytes.Buffer
+	err := run(options{
+		file: file, cfgName: "CNL-UFS", cellName: "TLC", qd: 32, seed: 42,
+		faultProfile: "eol",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fault profile: eol", "fault reads", "uncorrectable", "first error:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("faulted replay output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// Determinism: a second identical run prints byte-identical output.
+	var again bytes.Buffer
+	if err := run(options{
+		file: file, cfgName: "CNL-UFS", cellName: "TLC", qd: 32, seed: 42,
+		faultProfile: "eol",
+	}, &again); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != again.String() {
+		t.Fatalf("faulted replay not deterministic:\n%s\nvs\n%s", out.String(), again.String())
+	}
+
+	// The same trace under the zeroed profile stays silent about faults.
+	var clean bytes.Buffer
+	if err := run(options{
+		file: file, cfgName: "CNL-UFS", cellName: "TLC", qd: 32, seed: 42,
+		faultProfile: "none",
+	}, &clean); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(clean.String(), "fault") {
+		t.Fatalf("zeroed profile printed fault state:\n%s", clean.String())
+	}
+
+	// Unknown profiles are rejected with the roster, not a crash.
+	if err := run(options{
+		file: file, cfgName: "CNL-UFS", cellName: "TLC", qd: 32, seed: 42,
+		faultProfile: "bogus",
+	}, &out); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("bad profile error = %v", err)
+	}
+}

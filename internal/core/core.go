@@ -78,7 +78,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		Cell:        cell,
 		Bus:         cfg.Bus,
 		Link:        interconnect.NewPCIeLine(cfg.PCIe),
-		Translator:  ssd.Direct{Geo: cfg.Geometry, Cell: cell},
+		Translator:  ssd.NewDirect(cfg.Geometry, cell),
 		QueueDepth:  cfg.QueueDepth,
 		WindowBytes: cfg.WindowBytes,
 		Seed:        cfg.Seed,

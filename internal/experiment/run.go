@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"oocnvm/internal/fault"
 	"oocnvm/internal/ftl"
 	"oocnvm/internal/interconnect"
 	"oocnvm/internal/nvm"
@@ -29,6 +30,15 @@ type Options struct {
 	// synthetic traffic cannot pollute the numbers). Safe to share across
 	// Matrix's concurrent runs.
 	Obs *obs.Collector
+	// Fault is the reliability profile injected into the achieved run (the
+	// media-capable remeasurement stays fault-free so "bandwidth remaining"
+	// keeps its meaning). The zero profile disables injection entirely.
+	Fault fault.Profile
+	// RetentionDays ages the cells beyond the profile's own retention term.
+	RetentionDays float64
+	// PrecyclePE adds this many program/erase cycles of wear to every block
+	// before the run, on top of the profile's PrecycleFrac.
+	PrecyclePE int64
 }
 
 // DefaultOptions returns the evaluation defaults: the standard OoC workload
@@ -82,13 +92,13 @@ func Run(cfg Config, cell nvm.CellType, opt Options) (Measurement, error) {
 	if err != nil {
 		return Measurement{}, err
 	}
-	achieved, err := replay(cfg, cell, opt, blockOps, window, cfg.buildLink(), opt.Obs)
+	achieved, err := replay(cfg, cell, opt, blockOps, window, cfg.buildLink(), opt.Obs, true)
 	if err != nil {
 		return Measurement{}, err
 	}
 	m := Measurement{Config: cfg, Cell: cell, Achieved: achieved}
 	if opt.MeasureRemaining {
-		capable, err := replay(cfg, cell, opt, blockOps, window, interconnect.Infinite{}, nil)
+		capable, err := replay(cfg, cell, opt, blockOps, window, interconnect.Infinite{}, nil, false)
 		if err != nil {
 			return Measurement{}, err
 		}
@@ -118,12 +128,14 @@ func blockTrace(cfg Config, cell nvm.CellType, opt Options) ([]trace.BlockOp, in
 
 // replay drives the block trace through a freshly assembled SSD. When col is
 // non-nil it receives the run's spans, and the device's private metrics
-// registry is absorbed into it after the replay.
-func replay(cfg Config, cell nvm.CellType, opt Options, ops []trace.BlockOp, window int64, link nvm.Link, col *obs.Collector) (ssd.Result, error) {
+// registry is absorbed into it after the replay. Fault injection applies
+// only when withFaults is set (the achieved run), never to the
+// media-capable remeasurement.
+func replay(cfg Config, cell nvm.CellType, opt Options, ops []trace.BlockOp, window int64, link nvm.Link, col *obs.Collector, withFaults bool) (ssd.Result, error) {
 	cp := nvm.Params(cell)
 	var translator ssd.Translator
 	if cfg.Kind == FSUFS {
-		translator = ssd.Direct{Geo: opt.Geometry, Cell: cp}
+		translator = ssd.NewDirect(opt.Geometry, cp)
 	} else {
 		f, err := ftl.New(opt.Geometry, cp, ftl.Config{})
 		if err != nil {
@@ -146,6 +158,16 @@ func replay(cfg Config, cell nvm.CellType, opt Options, ops []trace.BlockOp, win
 	}
 	if col != nil {
 		sc.Probe = col
+	}
+	if withFaults && opt.Fault.Enabled() {
+		fc := nvm.FaultConfig(opt.Geometry, cp, opt.Fault, opt.Seed)
+		fc.RetentionDays = opt.RetentionDays
+		fc.PrecyclePE = opt.PrecyclePE
+		inj, err := fault.New(fc)
+		if err != nil {
+			return ssd.Result{}, err
+		}
+		sc.Fault = inj
 	}
 	drive, err := ssd.New(sc)
 	if err != nil {

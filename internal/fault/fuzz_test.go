@@ -1,0 +1,63 @@
+package fault
+
+import "testing"
+
+// FuzzReadClassify asserts ECC.Classify's invariants over arbitrary budgets
+// and error counts: the class ordering is consistent with the thresholds,
+// retries stay within the ladder, and corrected-bit accounting never
+// invents errors.
+func FuzzReadClassify(f *testing.F) {
+	f.Add(8, 4, 3, 0, int64(0))
+	f.Add(8, 4, 3, 9, int64(20))
+	f.Add(60, 8, 5, 200, int64(900))
+	f.Add(2, 0, 1, 3, int64(3))
+	f.Fuzz(func(t *testing.T, correctable, retryBits, maxRetries, worst int, total int64) {
+		// Constrain to the representable domain: non-negative budgets, and a
+		// worst codeword that cannot exceed the total across codewords.
+		if correctable < 0 || retryBits < 0 || maxRetries < 0 || maxRetries > 1000 {
+			t.Skip()
+		}
+		if worst < 0 || int64(worst) > total {
+			t.Skip()
+		}
+		ecc := ECC{CodewordBytes: 1024, CorrectableBits: correctable,
+			RetryBits: retryBits, MaxRetries: maxRetries}
+		r := ecc.Classify(worst, total)
+		switch {
+		case worst == 0:
+			if r.Class != ReadClean || r.Retries != 0 || r.CorrectedBits != 0 {
+				t.Fatalf("zero errors classified %+v", r)
+			}
+		case worst <= correctable:
+			if r.Class != ReadCorrected || r.Retries != 0 {
+				t.Fatalf("in-budget worst=%d classified %+v", worst, r)
+			}
+			if r.CorrectedBits != total {
+				t.Fatalf("corrected bits %d, want %d", r.CorrectedBits, total)
+			}
+		default:
+			if r.Class != ReadRetried && r.Class != ReadUncorrectable {
+				t.Fatalf("over-budget worst=%d classified %+v", worst, r)
+			}
+			if r.Retries < 0 || r.Retries > maxRetries {
+				t.Fatalf("retries %d outside ladder [0,%d]", r.Retries, maxRetries)
+			}
+			if r.Class == ReadRetried {
+				if r.Retries == 0 && maxRetries > 0 {
+					t.Fatalf("retried with zero retries: %+v", r)
+				}
+				// The ladder must actually cover the overflow.
+				gain := retryBits
+				if gain <= 0 {
+					gain = 1
+				}
+				if worst-correctable > r.Retries*gain {
+					t.Fatalf("worst=%d not covered by %d retries of %d bits", worst, r.Retries, gain)
+				}
+			}
+			if r.Class == ReadUncorrectable && r.CorrectedBits != 0 {
+				t.Fatalf("uncorrectable read claims corrected bits: %+v", r)
+			}
+		}
+	})
+}

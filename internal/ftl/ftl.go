@@ -28,6 +28,11 @@ type FTL struct {
 
 	l2p map[int64]int64 // overrides; absent means identity (preloaded layout)
 	p2l map[int64]int64 // reverse map for relocation
+	// dead marks preloaded-region identity slots that are no longer valid
+	// (overwritten or trimmed). Without it a trim of an overwritten
+	// preloaded page would double-decrement the superblock's valid count,
+	// and retirement could relocate stale identity data.
+	dead map[int64]bool
 
 	sb        []superblock
 	freeHeap  wearHeap // free superblocks ordered by wear (wear leveling)
@@ -41,6 +46,7 @@ type FTL struct {
 	relocated  int64
 	hostWrites int64
 	nandWrites int64
+	grownBad   int64
 
 	probe obs.Probe
 }
@@ -54,6 +60,9 @@ type superblock struct {
 	wear   int64
 	sealed bool
 	free   bool
+	// bad marks a grown-bad superblock: retired from circulation after a
+	// program or erase failure, never allocated or collected again.
+	bad bool
 }
 
 // Config tunes the FTL.
@@ -78,6 +87,7 @@ func New(geo nvm.Geometry, cell nvm.CellParams, cfg Config) (*FTL, error) {
 		super:   int64(geo.BlocksPerPlane),
 		l2p:     make(map[int64]int64),
 		p2l:     make(map[int64]int64),
+		dead:    make(map[int64]bool),
 		active:  -1,
 		reserve: cfg.ReserveSuperblocks,
 		probe:   obs.Nop{},
@@ -156,7 +166,7 @@ func (f *FTL) Read(offset, size int64) []nvm.PageOp {
 	ops := make([]nvm.PageOp, 0, last-first+1)
 	for lpn := first; lpn <= last; lpn++ {
 		ppn := f.lookup(lpn) % f.Pages()
-		ops = append(ops, nvm.PageOp{Op: nvm.OpRead, Loc: f.Locate(ppn)})
+		ops = append(ops, nvm.PageOp{Op: nvm.OpRead, Loc: f.Locate(ppn), PPN: ppn})
 	}
 	return ops
 }
@@ -196,9 +206,11 @@ func (f *FTL) program(lpn int64) []nvm.PageOp {
 	if had {
 		f.sb[f.superOf(old)].valid--
 		delete(f.p2l, old)
-	} else if lpn < f.preloaded*f.spb {
-		// Overwriting identity-mapped preloaded data.
+	} else if lpn < f.preloaded*f.spb && !f.dead[lpn] {
+		// Overwriting identity-mapped preloaded data; the identity slot is
+		// dead from here on.
 		f.sb[f.superOf(lpn)].valid--
+		f.dead[lpn] = true
 	}
 	ppn := f.active*f.spb + f.writePtr
 	f.writePtr++
@@ -207,20 +219,24 @@ func (f *FTL) program(lpn int64) []nvm.PageOp {
 	f.sb[f.active].valid++
 	f.nandWrites++
 	f.probe.Count("ftl.nand_writes", 1)
-	ops = append(ops, nvm.PageOp{Op: nvm.OpProgram, Loc: f.Locate(ppn)})
+	ops = append(ops, nvm.PageOp{Op: nvm.OpProgram, Loc: f.Locate(ppn), PPN: ppn})
 	return ops
 }
 
-// allocSuperblock takes the least-worn free superblock.
+// allocSuperblock takes the least-worn free superblock, skipping stale heap
+// entries for superblocks that have since grown bad.
 func (f *FTL) allocSuperblock() int64 {
-	if f.freeHeap.Len() == 0 {
-		panic("ftl: free pool exhausted despite GC reserve")
+	for f.freeHeap.Len() > 0 {
+		e := heap.Pop(&f.freeHeap).(wearEntry)
+		if f.sb[e.id].bad {
+			continue
+		}
+		f.sb[e.id].free = false
+		f.sb[e.id].sealed = false
+		f.sb[e.id].valid = 0
+		return e.id
 	}
-	e := heap.Pop(&f.freeHeap).(wearEntry)
-	f.sb[e.id].free = false
-	f.sb[e.id].sealed = false
-	f.sb[e.id].valid = 0
-	return e.id
+	panic("ftl: free pool exhausted despite GC reserve")
 }
 
 // maybeGC reclaims sealed superblocks until the free pool meets the reserve.
@@ -243,7 +259,7 @@ func (f *FTL) pickVictim() int64 {
 	bestValid := f.spb + 1
 	for i := f.preloaded; i < f.super; i++ {
 		s := &f.sb[i]
-		if s.free || !s.sealed || i == f.active {
+		if s.free || s.bad || !s.sealed || i == f.active {
 			continue
 		}
 		if s.valid < bestValid {
@@ -267,7 +283,7 @@ func (f *FTL) collect(victim int64) []nvm.PageOp {
 			continue
 		}
 		// Read the stale location, then program into the active log.
-		ops = append(ops, nvm.PageOp{Op: nvm.OpRead, Loc: f.Locate(p)})
+		ops = append(ops, nvm.PageOp{Op: nvm.OpRead, Loc: f.Locate(p), PPN: p})
 		f.relocated++
 		delete(f.p2l, p)
 		f.sb[victim].valid--
@@ -278,7 +294,7 @@ func (f *FTL) collect(victim int64) []nvm.PageOp {
 	}
 	// Erase every eraseblock of the superblock: one per die-plane.
 	for r := int64(0); r < f.rowsz; r++ {
-		ops = append(ops, nvm.PageOp{Op: nvm.OpErase, Loc: f.Locate(base + r)})
+		ops = append(ops, nvm.PageOp{Op: nvm.OpErase, Loc: f.Locate(base + r), PPN: base + r})
 	}
 	f.sb[victim].wear++
 	f.sb[victim].free = true
@@ -296,6 +312,7 @@ type Stats struct {
 	HostWrites     int64
 	NANDWrites     int64
 	FreeSuper      int
+	GrownBadSuper  int64
 }
 
 // Stats snapshots the counters. Write amplification is
@@ -306,8 +323,87 @@ func (f *FTL) Stats() Stats {
 		RelocatedPages: f.relocated,
 		HostWrites:     f.hostWrites,
 		NANDWrites:     f.nandWrites,
-		FreeSuper:      f.freeHeap.Len(),
+		FreeSuper:      f.usableFree(),
+		GrownBadSuper:  f.grownBad,
 	}
+}
+
+// usableFree counts free superblocks still fit for allocation (the heap may
+// hold stale entries for superblocks that grew bad while free).
+func (f *FTL) usableFree() int {
+	n := 0
+	for _, e := range f.freeHeap {
+		if !f.sb[e.id].bad {
+			n++
+		}
+	}
+	return n
+}
+
+// RetireBlock implements grown-bad-block handling for the ssd controller:
+// the superblock containing the failed physical page is retired from
+// circulation (the superblock is this FTL's allocation and erase unit), its
+// still-valid pages — mapped or preloaded-identity — are relocated into the
+// log, and the mapping is updated so subsequent reads find the moved data.
+// OK is false when no usable free superblock remains to relocate into, which
+// the controller must treat as the end of the device's writable life.
+func (f *FTL) RetireBlock(ppn int64) nvm.Retirement {
+	v := f.superOf(ppn % f.Pages())
+	s := &f.sb[v]
+	if s.bad {
+		return nvm.Retirement{OK: true}
+	}
+	// The relocation target space is the free pool (excluding the victim
+	// itself, which may still be sitting in it) plus the unwritten tail of
+	// the active superblock (unless that is the one being retired). Refusing
+	// when the victim's valid pages exceed it — or when nothing writable
+	// would remain at all — keeps allocSuperblock from ever hitting an empty
+	// pool mid-relocation and stops the device retiring its last blocks.
+	room := int64(0)
+	for _, e := range f.freeHeap {
+		if !f.sb[e.id].bad && e.id != v {
+			room += f.spb
+		}
+	}
+	if f.active >= 0 && v != f.active {
+		room += f.spb - f.writePtr
+	}
+	if room == 0 || s.valid > room {
+		return nvm.Retirement{}
+	}
+	f.grownBad++
+	f.probe.Count("ftl.grown_bad_superblocks", 1)
+	if v == f.active {
+		f.active = -1
+		f.writePtr = 0
+	}
+	s.bad = true
+	s.free = false
+	s.sealed = true
+	var ops []nvm.PageOp
+	base := v * f.spb
+	pre := f.preloaded * f.spb
+	for p := base; p < base+f.spb; p++ {
+		lpn, mapped := f.p2l[p]
+		if !mapped {
+			if p >= pre || f.dead[p] {
+				continue
+			}
+			lpn = p // still-valid identity-mapped preloaded page
+		}
+		ops = append(ops, nvm.PageOp{Op: nvm.OpRead, Loc: f.Locate(p), PPN: p})
+		f.relocated++
+		f.probe.Count("ftl.retire.relocated_pages", 1)
+		if mapped {
+			delete(f.p2l, p)
+			delete(f.l2p, lpn)
+			s.valid--
+		}
+		// program() handles the identity-slot invalidation for preloaded
+		// pages and appends the new copy to the log.
+		ops = append(ops, f.program(lpn)...)
+	}
+	return nvm.Retirement{Ops: ops, Retired: true, OK: true}
 }
 
 // WriteAmplification returns NAND writes per host write (1.0 = none).

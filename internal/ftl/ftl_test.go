@@ -241,3 +241,132 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 		t.Fatal("FTL behaviour not deterministic")
 	}
 }
+
+func TestTrimOfOverwrittenPreloadedPageRegression(t *testing.T) {
+	// Regression: overwrite a preloaded identity page (invalidating its
+	// identity slot), then trim the new copy, then trim the region again.
+	// Before the dead-set fix the second trim decremented the preloaded
+	// superblock's valid count a second time, driving it negative.
+	f := newSmall(t, nvm.SLC)
+	if err := f.Preload(f.CapacityBytes() / 4); err != nil {
+		t.Fatal(err)
+	}
+	ps := f.PageSize()
+	f.Write(0, ps) // invalidates identity slot 0
+	f.Erase(0, ps) // trims the log copy; identity slot already dead
+	f.Erase(0, ps) // must be a no-op for superblock 0's count
+	if v := f.sb[0].valid; v < 0 {
+		t.Fatalf("preloaded superblock valid count went negative: %d", v)
+	}
+	checkInvariants(t, f)
+}
+
+func TestRetireBlockRelocatesMappedPages(t *testing.T) {
+	f := newSmall(t, nvm.SLC)
+	ps := f.PageSize()
+	// Write a few pages so the active superblock holds live mapped data.
+	f.Write(0, 4*ps)
+	victim := f.active
+	ppn := victim * f.spb // first page of the active superblock
+	r := f.RetireBlock(ppn)
+	if !r.OK || !r.Retired {
+		t.Fatalf("retire failed: %+v", r)
+	}
+	if !f.sb[victim].bad {
+		t.Fatal("superblock not marked bad")
+	}
+	// The four pages must have been relocated: reads from the bad block plus
+	// re-programs elsewhere.
+	reads, progs := 0, 0
+	for _, op := range r.Ops {
+		switch op.Op {
+		case nvm.OpRead:
+			reads++
+			if f.superOf(op.PPN) != victim {
+				t.Fatal("relocation read outside the retired superblock")
+			}
+		case nvm.OpProgram:
+			progs++
+			if f.superOf(op.PPN) == victim {
+				t.Fatal("relocation programmed back onto the retired superblock")
+			}
+		}
+	}
+	if reads != 4 || progs != 4 {
+		t.Fatalf("relocation traffic: %d reads, %d programs, want 4/4", reads, progs)
+	}
+	// Reads of the data now resolve outside the retired superblock.
+	for lpn := int64(0); lpn < 4; lpn++ {
+		got := f.Read(lpn*ps, ps)[0].PPN
+		if f.superOf(got) == victim {
+			t.Fatalf("lpn %d still reads from retired superblock", lpn)
+		}
+	}
+	checkInvariants(t, f)
+}
+
+func TestRetireBlockRelocatesPreloadedIdentityPages(t *testing.T) {
+	f := newSmall(t, nvm.SLC)
+	if err := f.Preload(f.CapacityBytes() / 4); err != nil {
+		t.Fatal(err)
+	}
+	// Retire the first preloaded superblock: every identity page is valid and
+	// must be relocated into the log.
+	r := f.RetireBlock(0)
+	if !r.OK || !r.Retired {
+		t.Fatalf("retire failed: %+v", r)
+	}
+	progs := 0
+	for _, op := range r.Ops {
+		if op.Op == nvm.OpProgram {
+			progs++
+		}
+	}
+	if int64(progs) != f.spb {
+		t.Fatalf("relocated %d pages, want the full superblock %d", progs, f.spb)
+	}
+	// The preloaded data is now remapped, not identity.
+	if got := f.Read(0, f.PageSize())[0].PPN; f.superOf(got) == 0 {
+		t.Fatal("preloaded page still reads from retired superblock")
+	}
+	checkInvariants(t, f)
+}
+
+func TestRetireBlockIdempotentAndExhaustion(t *testing.T) {
+	f := newSmall(t, nvm.SLC)
+	r1 := f.RetireBlock(0)
+	if !r1.OK || !r1.Retired {
+		t.Fatalf("first retire: %+v", r1)
+	}
+	// Same block again: already bad, nothing to do, still OK.
+	r2 := f.RetireBlock(0)
+	if !r2.OK || r2.Retired || r2.Ops != nil {
+		t.Fatalf("second retire of same block: %+v", r2)
+	}
+	// Retire superblocks until the FTL refuses (no usable free space left).
+	refused := false
+	for sbi := int64(1); sbi < f.super; sbi++ {
+		r := f.RetireBlock(sbi * f.spb)
+		if !r.OK {
+			refused = true
+			break
+		}
+	}
+	if !refused {
+		t.Fatal("FTL never refused retirement; free pool accounting broken")
+	}
+	checkInvariants(t, f)
+}
+
+func TestStatsReportGrownBad(t *testing.T) {
+	f := newSmall(t, nvm.SLC)
+	before := f.Stats()
+	f.RetireBlock(0)
+	after := f.Stats()
+	if after.GrownBadSuper != before.GrownBadSuper+1 {
+		t.Fatalf("GrownBadSuper %d -> %d", before.GrownBadSuper, after.GrownBadSuper)
+	}
+	if after.FreeSuper != before.FreeSuper-1 {
+		t.Fatalf("FreeSuper %d -> %d, want one fewer", before.FreeSuper, after.FreeSuper)
+	}
+}

@@ -3,6 +3,7 @@ package nvm
 import (
 	"fmt"
 
+	"oocnvm/internal/fault"
 	"oocnvm/internal/obs"
 	"oocnvm/internal/sim"
 )
@@ -33,9 +34,13 @@ func (o Op) String() string {
 }
 
 // PageOp is one page-granular transaction addressed to a physical location.
+// PPN carries the physical page number the translator resolved; the device's
+// scheduling ignores it, but the fault injector keys per-eraseblock wear and
+// error state off it.
 type PageOp struct {
 	Op  Op
 	Loc Location
+	PPN int64
 }
 
 // Link abstracts the host-side data path of the SSD (PCIe, possibly behind a
@@ -90,6 +95,12 @@ type Device struct {
 	// register, so register staging no longer occupies the die.
 	cacheMode bool
 
+	// faults, when non-nil, injects reliability behavior: read-retry
+	// latency on the die timelines, program/erase failure reports, and
+	// per-block wear feeding the RBER model. Nil means a failure-free
+	// device with zero overhead.
+	faults *fault.Injector
+
 	// The device's work counters and latency histogram live in a private
 	// obs.Registry so Stats is assembled from the registry in one place and
 	// a run-level collector can absorb them for export. The probe receives
@@ -104,7 +115,12 @@ type Device struct {
 	cBytesWr *obs.Counter
 	cPAL     [4]*obs.Counter
 	hLatency *obs.Histogram
+	hRetry   *obs.Histogram
 }
+
+// SetFaults attaches a fault injector. Call before submitting work; a nil
+// injector restores the failure-free device.
+func (d *Device) SetFaults(inj *fault.Injector) { d.faults = inj }
 
 // EnableCacheMode turns on dual-register cache operation (see the cacheMode
 // field). Call before submitting work.
@@ -154,6 +170,7 @@ func (d *Device) bindMetrics(r *obs.Registry) {
 	d.cPAL[2] = r.Counter("nvm.pal3")
 	d.cPAL[3] = r.Counter("nvm.pal4")
 	d.hLatency = r.Histogram("nvm.device.latency")
+	d.hRetry = r.Histogram("nvm.read.retry")
 }
 
 // Registry exposes the device's private metrics registry (work counters,
@@ -404,6 +421,30 @@ func (d *Device) execActivation(issue sim.Time, a activation) sim.Time {
 		if probing {
 			d.probe.Span(obs.LayerNVM, dieTrack, "sense", as, ae)
 		}
+		// Read-retry: when the ECC budget of any merged page needs stepped
+		// re-senses, the die re-runs the sense that many times before the
+		// data can stage out. Each step costs a full command+tR.
+		if d.faults != nil {
+			retries := 0
+			for _, op := range a.ops {
+				if rr := d.faults.ReadPage(op.PPN); rr.Retries > retries {
+					retries = rr.Retries
+				}
+			}
+			if retries > 0 {
+				step := sim.Time(retries) * (cmd + d.Cell.ReadLatency)
+				rs, re := die.Acquire(ae, step)
+				d.chargeDieWait(a.loc.Channel, a.loc.Die, ae, rs)
+				d.breakdown.CellActivation += step
+				d.markDie(a.loc.Channel, a.loc.Die, rs, re)
+				d.hRetry.Observe(step)
+				if probing {
+					d.probe.Span(obs.LayerNVM, dieTrack, "read-retry", rs, re,
+						obs.Attr{Key: "retries", Value: retries})
+				}
+				ae = re
+			}
+		}
 		// Per merged page: register staging then data-out then DMA. In cache
 		// mode the staging drains from the secondary register, leaving the
 		// die free to sense the next page immediately.
@@ -471,6 +512,11 @@ func (d *Device) execActivation(issue sim.Time, a activation) sim.Time {
 		if probing {
 			d.probe.Span(obs.LayerNVM, dieTrack, "program", ps, pe)
 		}
+		if d.faults != nil {
+			for _, op := range a.ops {
+				d.faults.OnProgram(op.PPN)
+			}
+		}
 		return pe
 
 	case OpErase:
@@ -486,6 +532,9 @@ func (d *Device) execActivation(issue sim.Time, a activation) sim.Time {
 			d.cErases.Inc()
 			key := Location{Channel: op.Loc.Channel, Die: op.Loc.Die, Plane: op.Loc.Plane}
 			d.eraseCount[key]++
+			if d.faults != nil {
+				d.faults.OnErase(op.PPN)
+			}
 		}
 		return ee
 

@@ -1,0 +1,56 @@
+package nvm
+
+import (
+	"testing"
+
+	"oocnvm/internal/fault"
+)
+
+func TestECCForScalesWithDensity(t *testing.T) {
+	slc, mlc, tlc, pcm := ECCFor(SLC), ECCFor(MLC), ECCFor(TLC), ECCFor(PCM)
+	if !(slc.CorrectableBits < mlc.CorrectableBits && mlc.CorrectableBits < tlc.CorrectableBits) {
+		t.Fatalf("ECC budget must grow with density: SLC %d, MLC %d, TLC %d",
+			slc.CorrectableBits, mlc.CorrectableBits, tlc.CorrectableBits)
+	}
+	if pcm.CorrectableBits >= slc.CorrectableBits {
+		t.Fatalf("PCM budget %d should be thinner than SLC's %d",
+			pcm.CorrectableBits, slc.CorrectableBits)
+	}
+	for _, e := range []fault.ECC{slc, mlc, tlc, pcm} {
+		if e.CodewordBytes <= 0 || e.MaxRetries <= 0 {
+			t.Fatalf("degenerate ECC %+v", e)
+		}
+	}
+	// Unknown cell types get a safe default, not a zero budget.
+	if d := ECCFor(CellType(99)); d.CorrectableBits <= 0 {
+		t.Fatalf("default ECC %+v", d)
+	}
+}
+
+func TestFaultConfigDerivation(t *testing.T) {
+	geo := PaperGeometry()
+	cell := Params(TLC)
+	prof, _ := fault.ForName("worn")
+	cfg := FaultConfig(geo, cell, prof, 7)
+	wantRow := int64(geo.Channels * cell.Planes * geo.DiesPerChannel())
+	if cfg.RowSize != wantRow {
+		t.Fatalf("RowSize %d, want %d", cfg.RowSize, wantRow)
+	}
+	if cfg.TotalBlocks != wantRow*int64(geo.BlocksPerPlane) {
+		t.Fatalf("TotalBlocks %d", cfg.TotalBlocks)
+	}
+	// Blocks × pages per block must tile the device's page population.
+	if cfg.TotalBlocks*cfg.PagesPerBlock != geo.Pages(cell) {
+		t.Fatalf("block layout does not tile device: %d blocks x %d pages != %d",
+			cfg.TotalBlocks, cfg.PagesPerBlock, geo.Pages(cell))
+	}
+	if cfg.PageSize != cell.PageSize || cfg.Endurance != cell.Endurance || cfg.Seed != 7 {
+		t.Fatalf("derived config %+v", cfg)
+	}
+	if cfg.ECC != ECCFor(TLC) {
+		t.Fatal("ECC not taken from the cell type")
+	}
+	if _, err := fault.New(cfg); err != nil {
+		t.Fatalf("derived config rejected by injector: %v", err)
+	}
+}

@@ -7,15 +7,22 @@
 package ssd
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"text/tabwriter"
 
+	"oocnvm/internal/fault"
 	"oocnvm/internal/nvm"
 	"oocnvm/internal/obs"
 	"oocnvm/internal/sim"
 	"oocnvm/internal/trace"
 )
+
+// ErrOutOfRange is returned (wrapped) by Submit for block operations that
+// reach beyond the translator's capacity instead of silently wrapping them
+// onto unrelated pages.
+var ErrOutOfRange = errors.New("ssd: request outside device capacity")
 
 // Translator maps byte-addressed block operations to NVM page operations.
 type Translator interface {
@@ -26,23 +33,93 @@ type Translator interface {
 	CapacityBytes() int64
 }
 
+// BlockRetirer is implemented by translators that can retire a grown-bad
+// block and relocate its still-valid data (the FTL, and Direct via its
+// bad-block remap table). The controller calls it when the fault injector
+// reports a program or erase failure.
+type BlockRetirer interface {
+	RetireBlock(ppn int64) nvm.Retirement
+}
+
+// DirectSpareBlocks is the eraseblock count Direct reserves at the top of
+// the address space as grown-bad replacements. The effective degradation
+// policy is the fault injector's (usually smaller) spare budget; this bound
+// only stops the remap table from growing without limit.
+const DirectSpareBlocks = 64
+
 // Direct is UFS's translation: identity page-striped mapping with no
-// remapping layer at all. The host (UFS) is responsible for erase-before-
-// write; the device executes exactly what it is told.
+// remapping layer — except for grown-bad blocks, which are remapped onto
+// spare eraseblocks reserved at the top of the address space so the UFS
+// path gets the same bad-block indirection the FTL path has. The host (UFS)
+// is responsible for erase-before-write; the device executes exactly what
+// it is told.
 type Direct struct {
 	Geo  nvm.Geometry
 	Cell nvm.CellParams
+
+	remap     map[int64]int64 // logical eraseblock -> replacement block
+	bad       map[int64]bool  // physically retired blocks
+	nextSpare int64           // next spare block id, counting down
+}
+
+// NewDirect builds the identity translator with an empty bad-block remap.
+func NewDirect(geo nvm.Geometry, cell nvm.CellParams) *Direct {
+	d := &Direct{
+		Geo:   geo,
+		Cell:  cell,
+		remap: make(map[int64]int64),
+		bad:   make(map[int64]bool),
+	}
+	d.nextSpare = d.totalBlocks() - 1
+	return d
 }
 
 // PageSize returns the interface page size.
-func (d Direct) PageSize() int64 { return d.Cell.PageSize }
+func (d *Direct) PageSize() int64 { return d.Cell.PageSize }
 
 // CapacityBytes returns the raw capacity.
-func (d Direct) CapacityBytes() int64 { return d.Geo.Capacity(d.Cell) }
+func (d *Direct) CapacityBytes() int64 { return d.Geo.Capacity(d.Cell) }
 
-func (d Direct) pages() int64 { return d.Geo.Pages(d.Cell) }
+func (d *Direct) pages() int64 { return d.Geo.Pages(d.Cell) }
 
-func (d Direct) mapRange(op nvm.Op, offset, size int64) []nvm.PageOp {
+// rowSize is the number of die-planes pages stripe over.
+func (d *Direct) rowSize() int64 {
+	return int64(d.Geo.Channels * d.Cell.Planes * d.Geo.DiesPerChannel())
+}
+
+func (d *Direct) totalBlocks() int64 { return d.rowSize() * int64(d.Geo.BlocksPerPlane) }
+
+// blockOf maps a physical page number to its eraseblock id (matching the
+// fault injector's layout: rows stripe over die-planes, ppb rows per block).
+func (d *Direct) blockOf(ppn int64) int64 {
+	row := d.rowSize()
+	ppb := int64(d.Cell.PagesPerBlock)
+	return (ppn/(row*ppb))*row + ppn%row
+}
+
+// pageIn returns the k-th page of an eraseblock.
+func (d *Direct) pageIn(block, k int64) int64 {
+	row := d.rowSize()
+	ppb := int64(d.Cell.PagesPerBlock)
+	return ((block/row)*ppb+k)*row + block%row
+}
+
+// redirect applies the bad-block remap to one physical page number.
+func (d *Direct) redirect(ppn int64) int64 {
+	if len(d.remap) == 0 {
+		return ppn
+	}
+	b := d.blockOf(ppn)
+	nb, ok := d.remap[b]
+	if !ok {
+		return ppn
+	}
+	row := d.rowSize()
+	k := (ppn / row) % int64(d.Cell.PagesPerBlock)
+	return d.pageIn(nb, k)
+}
+
+func (d *Direct) mapRange(op nvm.Op, offset, size int64) []nvm.PageOp {
 	if size <= 0 {
 		return nil
 	}
@@ -51,23 +128,24 @@ func (d Direct) mapRange(op nvm.Op, offset, size int64) []nvm.PageOp {
 	total := d.pages()
 	ops := make([]nvm.PageOp, 0, last-first+1)
 	for lpn := first; lpn <= last; lpn++ {
-		ops = append(ops, nvm.PageOp{Op: op, Loc: d.Geo.MapLogical(lpn%total, d.Cell.Planes)})
+		ppn := d.redirect(lpn % total)
+		ops = append(ops, nvm.PageOp{Op: op, Loc: d.Geo.MapLogical(ppn, d.Cell.Planes), PPN: ppn})
 	}
 	return ops
 }
 
 // Read maps a read through identity striping.
-func (d Direct) Read(offset, size int64) []nvm.PageOp {
+func (d *Direct) Read(offset, size int64) []nvm.PageOp {
 	return d.mapRange(nvm.OpRead, offset, size)
 }
 
 // Write maps a write through identity striping.
-func (d Direct) Write(offset, size int64) []nvm.PageOp {
+func (d *Direct) Write(offset, size int64) []nvm.PageOp {
 	return d.mapRange(nvm.OpProgram, offset, size)
 }
 
 // Erase issues one block erase per eraseblock overlapping the range.
-func (d Direct) Erase(offset, size int64) []nvm.PageOp {
+func (d *Direct) Erase(offset, size int64) []nvm.PageOp {
 	if size <= 0 {
 		size = d.Cell.BlockSize()
 	}
@@ -78,10 +156,50 @@ func (d Direct) Erase(offset, size int64) []nvm.PageOp {
 	ops := make([]nvm.PageOp, 0, last-first+1)
 	for b := first; b <= last; b++ {
 		// Identify the die-plane owning this block via its first page.
-		lpn := (b * int64(d.Cell.PagesPerBlock)) % total
-		ops = append(ops, nvm.PageOp{Op: nvm.OpErase, Loc: d.Geo.MapLogical(lpn, d.Cell.Planes)})
+		ppn := d.redirect((b * int64(d.Cell.PagesPerBlock)) % total)
+		ops = append(ops, nvm.PageOp{Op: nvm.OpErase, Loc: d.Geo.MapLogical(ppn, d.Cell.Planes), PPN: ppn})
 	}
 	return ops
+}
+
+// RetireBlock remaps the grown-bad eraseblock containing ppn onto a spare
+// from the reserved top-of-device region and returns the copy-out traffic
+// (the whole block: with no mapping layer Direct cannot tell valid pages
+// from stale ones). OK is false once the spare region is exhausted.
+func (d *Direct) RetireBlock(ppn int64) nvm.Retirement {
+	if d.remap == nil {
+		// Zero-value Direct (no NewDirect): no remap capability.
+		return nvm.Retirement{}
+	}
+	b := d.blockOf(ppn % d.pages())
+	if d.bad[b] {
+		return nvm.Retirement{OK: true}
+	}
+	if d.nextSpare < d.totalBlocks()-DirectSpareBlocks || d.nextSpare < 0 {
+		return nvm.Retirement{}
+	}
+	spare := d.nextSpare
+	d.nextSpare--
+	d.bad[b] = true
+	// If b was itself a replacement, point its logical source at the new
+	// spare; otherwise b is the logical block.
+	src := b
+	for logical, phys := range d.remap {
+		if phys == b {
+			src = logical
+			break
+		}
+	}
+	d.remap[src] = spare
+	ppb := int64(d.Cell.PagesPerBlock)
+	ops := make([]nvm.PageOp, 0, 2*ppb)
+	for k := int64(0); k < ppb; k++ {
+		from, to := d.pageIn(b, k), d.pageIn(spare, k)
+		ops = append(ops,
+			nvm.PageOp{Op: nvm.OpRead, Loc: d.Geo.MapLogical(from, d.Cell.Planes), PPN: from},
+			nvm.PageOp{Op: nvm.OpProgram, Loc: d.Geo.MapLogical(to, d.Cell.Planes), PPN: to})
+	}
+	return nvm.Retirement{Ops: ops, Retired: true, OK: true}
 }
 
 // Config assembles an SSD.
@@ -105,6 +223,10 @@ type Config struct {
 	// Probe receives per-request spans and latency observations. Nil means
 	// observability off (a no-op probe, free on the hot path).
 	Probe obs.Probe
+	// Fault injects bit errors and program/erase failures at the media layer.
+	// Nil (or a disabled injector) leaves the legacy fault-free path exactly
+	// as it was, including its RNG draw sequence.
+	Fault *fault.Injector
 }
 
 // DefaultQueueDepth is the native command queue depth used throughout the
@@ -123,15 +245,21 @@ type SSD struct {
 	hostOverhead sim.Time
 	clock        sim.Time
 	dataBytes    int64
+	capacity     int64
 	probe        obs.Probe
+	faults       *fault.Injector
+	err          error
 }
 
-// SetProbe attaches an observability probe to the drive, its device, and
-// (when the translator is probeable, like the FTL) the translation layer.
-// A nil probe disables probing.
+// SetProbe attaches an observability probe to the drive, its device, the
+// fault injector, and (when the translator is probeable, like the FTL) the
+// translation layer. A nil probe disables probing.
 func (s *SSD) SetProbe(p obs.Probe) {
 	s.probe = obs.OrNop(p)
 	s.Dev.SetProbe(p)
+	if s.faults != nil {
+		s.faults.SetProbe(p)
+	}
 	obs.Instrument(s.trans, p)
 }
 
@@ -158,13 +286,23 @@ func New(cfg Config) (*SSD, error) {
 		trans:        cfg.Translator,
 		win:          sim.NewWindow(cfg.QueueDepth, cfg.WindowBytes),
 		hostOverhead: cfg.HostOverhead,
+		capacity:     cfg.Translator.CapacityBytes(),
 		probe:        obs.Nop{},
+	}
+	if cfg.Fault != nil && cfg.Fault.Enabled() {
+		s.faults = cfg.Fault
+		dev.SetFaults(cfg.Fault)
 	}
 	if cfg.Probe != nil {
 		s.SetProbe(cfg.Probe)
 	}
 	return s, nil
 }
+
+// Err returns the first error any Submit call surfaced during the drive's
+// lifetime (an uncorrectable read or a read-only rejection), or nil. Replay
+// discards per-op errors; this is where batch drivers find out.
+func (s *SSD) Err() error { return s.err }
 
 // Result captures one replay's measurements.
 type Result struct {
@@ -174,6 +312,9 @@ type Result struct {
 	// journal excluded) over elapsed time, in bytes/second.
 	Bandwidth float64
 	Stats     nvm.Stats
+	// Faults snapshots the reliability counters (zero value when fault
+	// injection is off).
+	Faults fault.Counts
 }
 
 // MBps converts the result bandwidth to MB/s (decimal), the unit of the
@@ -200,17 +341,46 @@ func (r Result) String() string {
 	for i, label := range nvm.BreakdownLabels {
 		fmt.Fprintf(w, "  %s\t%5.1f%%\n", label, 100*p[i])
 	}
+	if r.Faults != (fault.Counts{}) {
+		fmt.Fprintf(w, "fault reads\t%d clean, %d corrected, %d retried, %d uncorrectable\n",
+			r.Faults.Clean, r.Faults.Corrected, r.Faults.Retried, r.Faults.Uncorrectable)
+		fmt.Fprintf(w, "fault blocks\t%d grown bad (%d program, %d erase failures), %d spares left\n",
+			r.Faults.GrownBadBlocks, r.Faults.ProgramFailures, r.Faults.EraseFailures, r.Faults.SparesLeft)
+		if r.Faults.ReadOnly {
+			fmt.Fprintf(w, "fault state\tREAD-ONLY (%d ops rejected)\n", r.Faults.RejectedOps)
+		}
+	}
 	w.Flush()
 	return b.String()
 }
 
 // Submit drives one block operation through the stack at the SSD's current
-// clock and returns its completion time. Sync operations drain the queue
-// before issuing and hold back subsequent operations until they complete.
-func (s *SSD) Submit(op trace.BlockOp) sim.Time {
+// clock and returns its completion time plus any reliability error. Sync
+// operations drain the queue before issuing and hold back subsequent
+// operations until they complete.
+//
+// Errors are typed and sticky (see Err): requests beyond the translator's
+// capacity return ErrOutOfRange without touching the media; writes and
+// erases against a drive that has degraded to read-only return
+// fault.ErrReadOnly; reads whose bit errors exceed the ECC retry ladder
+// complete (the time is still modeled) but return fault.ErrUncorrectable.
+func (s *SSD) Submit(op trace.BlockOp) (sim.Time, error) {
 	arrive := s.clock
 	if op.Sync {
 		s.clock = sim.MaxTime(s.clock, s.win.Drain())
+	}
+	if op.Offset < 0 || op.Offset >= s.capacity || op.Size < 0 || op.Size > s.capacity-op.Offset {
+		err := fmt.Errorf("%w: %s offset=%d size=%d capacity=%d",
+			ErrOutOfRange, op.Kind, op.Offset, op.Size, s.capacity)
+		s.keep(err)
+		s.probe.Count("ssd.rejected_ops", 1)
+		return s.clock, err
+	}
+	if s.faults != nil && s.faults.ReadOnly() && op.Kind != trace.Read {
+		s.faults.RejectOp()
+		err := fmt.Errorf("ssd: %s offset=%d size=%d: %w", op.Kind, op.Offset, op.Size, fault.ErrReadOnly)
+		s.keep(err)
+		return s.clock, err
 	}
 	var pageOps []nvm.PageOp
 	switch op.Kind {
@@ -223,6 +393,15 @@ func (s *SSD) Submit(op trace.BlockOp) sim.Time {
 	}
 	issue := s.win.Admit(s.clock, op.Size)
 	end := s.Dev.Submit(issue, pageOps)
+	var err error
+	if s.faults != nil {
+		end = s.recover(end)
+		if n := s.faults.TakeUncorrectable(); n > 0 {
+			err = fmt.Errorf("ssd: %d uncorrectable page read(s) in %s offset=%d: %w",
+				n, op.Kind, op.Offset, fault.ErrUncorrectable)
+			s.keep(err)
+		}
+	}
 	s.win.Complete(end, op.Size)
 	if op.Sync {
 		s.clock = end
@@ -245,10 +424,63 @@ func (s *SSD) Submit(op trace.BlockOp) sim.Time {
 			obs.Attr{Key: "size", Value: op.Size},
 			obs.Attr{Key: "pages", Value: int64(len(pageOps))})
 	}
-	return end
+	return end, err
+}
+
+// keep records the first error a Submit surfaced.
+func (s *SSD) keep(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// recover drains the injector's pending program/erase failures, asking the
+// translator to retire each grown-bad block and charging the relocation
+// traffic to the device clock. Relocation programs can themselves fail, so
+// the drain loops until quiescent; termination is guaranteed because the
+// injector never fails an already-retired block and every retirement
+// consumes one finite spare. When the translator cannot relocate (or is not
+// a BlockRetirer) the drive degrades to read-only.
+func (s *SSD) recover(at sim.Time) sim.Time {
+	for {
+		fails := s.faults.TakeFailures()
+		if len(fails) == 0 {
+			return at
+		}
+		br, can := s.trans.(BlockRetirer)
+		for _, f := range fails {
+			if s.faults.ReadOnly() {
+				return at
+			}
+			if !can {
+				s.faults.Degrade()
+				return at
+			}
+			r := br.RetireBlock(f.PPN)
+			if !r.OK {
+				s.faults.Degrade()
+				return at
+			}
+			if !r.Retired {
+				continue
+			}
+			s.faults.OnRetire(f.PPN)
+			if len(r.Ops) > 0 {
+				start := at
+				at = s.Dev.Submit(at, r.Ops)
+				if s.probe.Enabled() {
+					s.probe.Span(obs.LayerSSD, "queue", "retire", start, at,
+						obs.Attr{Key: "ppn", Value: f.PPN},
+						obs.Attr{Key: "pages", Value: int64(len(r.Ops))})
+				}
+			}
+		}
+	}
 }
 
 // Replay drives a whole block trace and reports the run's measurements.
+// Per-op errors are not fatal to the replay (a degraded drive keeps
+// serving reads); the first one is retained and available via Err.
 // It may be called repeatedly; state (clock, device timelines) accumulates,
 // matching a continuously running device.
 func (s *SSD) Replay(ops []trace.BlockOp) Result {
@@ -267,6 +499,11 @@ func (s *SSD) Finish() Result {
 		DataBytes: s.dataBytes,
 		Bandwidth: sim.Rate(s.dataBytes, st.Span),
 		Stats:     st,
+	}
+	if s.faults != nil {
+		r.Faults = s.faults.Counts()
+		s.probe.SetGauge("ssd.fault.grown_bad_blocks", float64(r.Faults.GrownBadBlocks))
+		s.probe.SetGauge("ssd.fault.spares_left", float64(r.Faults.SparesLeft))
 	}
 	s.probe.SetGauge("ssd.span_ps", float64(r.Elapsed))
 	s.probe.SetGauge("ssd.bandwidth_bps", r.Bandwidth)

@@ -1,9 +1,12 @@
 package ssd
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
+	"oocnvm/internal/fault"
+	"oocnvm/internal/ftl"
 	"oocnvm/internal/interconnect"
 	"oocnvm/internal/nvm"
 	"oocnvm/internal/obs"
@@ -19,7 +22,7 @@ func testConfig(cell nvm.CellType) Config {
 		Cell:       cp,
 		Bus:        nvm.ONFi3SDR(),
 		Link:       interconnect.Infinite{},
-		Translator: Direct{Geo: geo, Cell: cp},
+		Translator: NewDirect(geo, cp),
 		Seed:       1,
 	}
 }
@@ -119,7 +122,7 @@ func TestEraseKindRoutes(t *testing.T) {
 func TestDirectReadMapping(t *testing.T) {
 	geo := nvm.PaperGeometry()
 	cell := nvm.Params(nvm.SLC)
-	d := Direct{Geo: geo, Cell: cell}
+	d := NewDirect(geo, cell)
 	ops := d.Read(0, 4*cell.PageSize)
 	if len(ops) != 4 {
 		t.Fatalf("ops = %d, want 4", len(ops))
@@ -138,7 +141,7 @@ func TestDirectReadMapping(t *testing.T) {
 func TestDirectWriteMapping(t *testing.T) {
 	geo := nvm.PaperGeometry()
 	cell := nvm.Params(nvm.MLC)
-	d := Direct{Geo: geo, Cell: cell}
+	d := NewDirect(geo, cell)
 	ops := d.Write(cell.PageSize, cell.PageSize)
 	if len(ops) != 1 || ops[0].Op != nvm.OpProgram {
 		t.Fatalf("ops = %v", ops)
@@ -148,7 +151,7 @@ func TestDirectWriteMapping(t *testing.T) {
 func TestDirectEraseMapping(t *testing.T) {
 	geo := nvm.PaperGeometry()
 	cell := nvm.Params(nvm.SLC)
-	d := Direct{Geo: geo, Cell: cell}
+	d := NewDirect(geo, cell)
 	ops := d.Erase(0, 2*cell.BlockSize())
 	if len(ops) != 2 {
 		t.Fatalf("erase ops = %d, want 2", len(ops))
@@ -167,7 +170,7 @@ func TestDirectEraseMapping(t *testing.T) {
 func TestDirectCapacityWraps(t *testing.T) {
 	geo := nvm.PaperGeometry()
 	cell := nvm.Params(nvm.SLC)
-	d := Direct{Geo: geo, Cell: cell}
+	d := NewDirect(geo, cell)
 	// Reads past the end of the device wrap rather than exploding.
 	ops := d.Read(d.CapacityBytes()-cell.PageSize, 2*cell.PageSize)
 	if len(ops) != 2 {
@@ -290,5 +293,288 @@ func TestFinishIdempotentAccumulation(t *testing.T) {
 	}
 	if r2.Elapsed <= r1.Elapsed {
 		t.Fatal("second batch did not extend the span")
+	}
+}
+
+func TestSubmitOutOfRangeTypedError(t *testing.T) {
+	s := newSSD(t, testConfig(nvm.SLC))
+	cap := s.trans.CapacityBytes()
+	for _, op := range []trace.BlockOp{
+		{Kind: trace.Read, Offset: cap, Size: 4096},
+		{Kind: trace.Read, Offset: cap - 4096, Size: 8192},
+		{Kind: trace.Write, Offset: -4096, Size: 4096},
+		{Kind: trace.Erase, Offset: 0, Size: -1},
+	} {
+		before := s.Dev.Stats()
+		at, err := s.Submit(op)
+		if !errors.Is(err, ErrOutOfRange) {
+			t.Fatalf("Submit(%+v) error = %v, want ErrOutOfRange", op, err)
+		}
+		if at != s.clock {
+			t.Fatal("rejected op advanced time")
+		}
+		if after := s.Dev.Stats(); after.Reads != before.Reads || after.Programs != before.Programs {
+			t.Fatalf("rejected op touched the media: %+v", op)
+		}
+	}
+	// The error is sticky and retrievable after a batch replay.
+	if s.Err() == nil {
+		t.Fatal("Err() lost the rejection")
+	}
+	// In-range ops at the exact boundary still work.
+	s2 := newSSD(t, testConfig(nvm.SLC))
+	if _, err := s2.Submit(trace.BlockOp{Kind: trace.Read, Offset: cap - 4096, Size: 4096}); err != nil {
+		t.Fatalf("boundary op rejected: %v", err)
+	}
+}
+
+func faultedConfig(t *testing.T, cell nvm.CellType, prof fault.Profile, spares int64) Config {
+	t.Helper()
+	cfg := testConfig(cell)
+	fc := nvm.FaultConfig(cfg.Geometry, cfg.Cell, prof, cfg.Seed)
+	fc.SpareBlocks = spares
+	inj, err := fault.New(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Fault = inj
+	return cfg
+}
+
+// TestZeroFaultProfileBitIdentical is the reproducibility acceptance test:
+// attaching a zeroed fault profile must leave a replay bit-identical to a
+// run with no injector at all — same elapsed picoseconds, same stats, same
+// latency percentiles.
+func TestZeroFaultProfileBitIdentical(t *testing.T) {
+	mkOps := func() []trace.BlockOp {
+		var ops []trace.BlockOp
+		for i := int64(0); i < 24; i++ {
+			ops = append(ops, trace.BlockOp{Kind: trace.Read, Offset: i * (1 << 20), Size: 1 << 20})
+			if i%6 == 5 {
+				ops = append(ops, trace.BlockOp{Kind: trace.Write, Offset: i << 19, Size: 64 << 10, Sync: i%12 == 11})
+			}
+		}
+		return ops
+	}
+	bare := newSSD(t, testConfig(nvm.MLC))
+	r1 := bare.Replay(mkOps())
+	l1 := bare.Dev.Latency()
+
+	zeroed := newSSD(t, faultedConfig(t, nvm.MLC, fault.Profile{Name: "none"}, 0))
+	if zeroed.faults != nil {
+		t.Fatal("disabled injector was attached to the drive")
+	}
+	r2 := zeroed.Replay(mkOps())
+	l2 := zeroed.Dev.Latency()
+
+	if r1.Elapsed != r2.Elapsed || r1.Stats != r2.Stats || r1.Bandwidth != r2.Bandwidth {
+		t.Fatalf("zeroed profile perturbed the replay:\n%+v\nvs\n%+v", r1, r2)
+	}
+	if l1 != l2 {
+		t.Fatalf("zeroed profile perturbed latency percentiles: %+v vs %+v", l1, l2)
+	}
+	if r2.Faults != (fault.Counts{}) {
+		t.Fatalf("zeroed profile counted faults: %+v", r2.Faults)
+	}
+}
+
+// TestEOLFaultCountersDeterministic is the end-of-life acceptance test: a
+// TLC drive on the eol profile must show corrected, retried AND
+// uncorrectable reads, charge retry latency into the device's stage
+// histograms, surface the typed uncorrectable error — and do all of it
+// bit-identically for a fixed seed.
+func TestEOLFaultCountersDeterministic(t *testing.T) {
+	prof, err := fault.ForName("eol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() (Result, error, int64) {
+		c := obs.NewCollector()
+		cfg := faultedConfig(t, nvm.TLC, prof, 0)
+		cfg.Probe = c
+		s := newSSD(t, cfg)
+		var ops []trace.BlockOp
+		for i := int64(0); i < 48; i++ {
+			ops = append(ops, trace.BlockOp{Kind: trace.Read, Offset: i * (1 << 20), Size: 512 << 10})
+		}
+		res := s.Replay(ops)
+		c.Reg.Absorb(s.Dev.Registry())
+		return res, s.Err(), c.Reg.Histogram("nvm.read.retry").Count()
+	}
+	res, firstErr, retryObs := run()
+	f := res.Faults
+	if f.Corrected == 0 || f.Retried == 0 || f.Uncorrectable == 0 {
+		t.Fatalf("EOL run missing a read class: %+v", f)
+	}
+	if f.Reads != f.Clean+f.Corrected+f.Retried+f.Uncorrectable {
+		t.Fatalf("read classes don't sum: %+v", f)
+	}
+	if retryObs == 0 {
+		t.Fatal("retry latency never reached the nvm.read.retry histogram")
+	}
+	if !errors.Is(firstErr, fault.ErrUncorrectable) {
+		t.Fatalf("first error = %v, want ErrUncorrectable", firstErr)
+	}
+	for _, want := range []string{"fault reads", "corrected", "uncorrectable"} {
+		if !strings.Contains(res.String(), want) {
+			t.Fatalf("Result.String missing %q:\n%s", want, res)
+		}
+	}
+	res2, _, retryObs2 := run()
+	if res.Elapsed != res2.Elapsed || res.Faults != res2.Faults || retryObs != retryObs2 {
+		t.Fatalf("EOL replay not deterministic:\n%+v\nvs\n%+v", res.Faults, res2.Faults)
+	}
+}
+
+// TestSparesExhaustedReadOnly is the graceful-degradation acceptance test:
+// with every program failing and a tiny spare budget, writes must grow bad
+// blocks, exhaust the spares, flip the drive to read-only, and surface the
+// typed error — while reads keep completing.
+func TestSparesExhaustedReadOnly(t *testing.T) {
+	prof := fault.Profile{Name: "killer", ProgramFailProb: 1}
+	cfg := faultedConfig(t, nvm.SLC, prof, 2)
+	s := newSSD(t, cfg)
+	var roErr error
+	for i := int64(0); i < 64 && roErr == nil; i++ {
+		_, err := s.Submit(trace.BlockOp{Kind: trace.Write, Offset: i * 4096, Size: 4096})
+		if errors.Is(err, fault.ErrReadOnly) {
+			roErr = err
+		}
+	}
+	if roErr == nil {
+		t.Fatal("drive never degraded to read-only")
+	}
+	res := s.Finish()
+	if !res.Faults.ReadOnly || res.Faults.SparesLeft != 0 {
+		t.Fatalf("degradation state: %+v", res.Faults)
+	}
+	if res.Faults.GrownBadBlocks == 0 || res.Faults.ProgramFailures == 0 {
+		t.Fatalf("no grown-bad bookkeeping: %+v", res.Faults)
+	}
+	// Reads still flow on a read-only drive.
+	if _, err := s.Submit(trace.BlockOp{Kind: trace.Read, Offset: 0, Size: 4096}); err != nil {
+		t.Fatalf("read rejected on read-only drive: %v", err)
+	}
+	// Writes keep being refused, and the refusals are counted.
+	if _, err := s.Submit(trace.BlockOp{Kind: trace.Write, Offset: 0, Size: 4096}); !errors.Is(err, fault.ErrReadOnly) {
+		t.Fatalf("write on read-only drive: %v", err)
+	}
+	if s.Finish().Faults.RejectedOps == 0 {
+		t.Fatal("rejected writes not counted")
+	}
+	if !errors.Is(s.Err(), fault.ErrReadOnly) && !errors.Is(s.Err(), fault.ErrUncorrectable) {
+		t.Fatalf("sticky error = %v", s.Err())
+	}
+	if !strings.Contains(res.String(), "READ-ONLY") {
+		t.Fatalf("Result.String hides the read-only state:\n%s", res)
+	}
+}
+
+// TestFTLGrownBadEndToEnd drives writes through the full FTL stack with an
+// aggressive failure profile and checks superblock retirement happens and
+// the replay stays deterministic.
+func TestFTLGrownBadEndToEnd(t *testing.T) {
+	prof := fault.Profile{Name: "flaky", ProgramFailProb: 0.002}
+	run := func() (Result, ftl.Stats) {
+		cfg := testConfig(nvm.SLC)
+		f, err := ftl.New(cfg.Geometry, cfg.Cell, ftl.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Translator = f
+		fc := nvm.FaultConfig(cfg.Geometry, cfg.Cell, prof, cfg.Seed)
+		fc.SpareBlocks = 64
+		inj, err := fault.New(fc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Fault = inj
+		s := newSSD(t, cfg)
+		var ops []trace.BlockOp
+		for i := int64(0); i < 256; i++ {
+			ops = append(ops, trace.BlockOp{Kind: trace.Write, Offset: (i % 64) * (256 << 10), Size: 256 << 10})
+		}
+		return s.Replay(ops), f.Stats()
+	}
+	res, st := run()
+	if res.Faults.ProgramFailures == 0 || res.Faults.GrownBadBlocks == 0 {
+		t.Fatalf("no failures injected: %+v", res.Faults)
+	}
+	if st.GrownBadSuper == 0 {
+		t.Fatalf("FTL retired no superblocks: %+v", st)
+	}
+	res2, st2 := run()
+	if res.Elapsed != res2.Elapsed || res.Faults != res2.Faults || st != st2 {
+		t.Fatal("faulted FTL replay not deterministic")
+	}
+}
+
+func TestDirectRetireRemapsBlock(t *testing.T) {
+	geo := nvm.PaperGeometry()
+	cell := nvm.Params(nvm.SLC)
+	d := NewDirect(geo, cell)
+	identity := d.Read(0, cell.PageSize)[0].PPN
+	r := d.RetireBlock(identity)
+	if !r.OK || !r.Retired {
+		t.Fatalf("retire failed: %+v", r)
+	}
+	// The copy-out traffic covers the whole eraseblock, reads then programs.
+	if int64(len(r.Ops)) != 2*int64(cell.PagesPerBlock) {
+		t.Fatalf("relocation ops = %d, want %d", len(r.Ops), 2*cell.PagesPerBlock)
+	}
+	// The logical page now resolves into the spare region at the top.
+	moved := d.Read(0, cell.PageSize)[0].PPN
+	if moved == identity {
+		t.Fatal("retired block still addressed")
+	}
+	if d.blockOf(moved) != d.totalBlocks()-1 {
+		t.Fatalf("remap landed on block %d, want top spare %d", d.blockOf(moved), d.totalBlocks()-1)
+	}
+	// Retiring the same logical block again: already bad, no-op.
+	if r2 := d.RetireBlock(identity); !r2.OK || r2.Retired {
+		t.Fatalf("re-retire of bad block: %+v", r2)
+	}
+	// Chained failure: the spare itself dies; the logical block must follow
+	// to the next spare, not a remap-of-a-remap.
+	r3 := d.RetireBlock(moved)
+	if !r3.OK || !r3.Retired {
+		t.Fatalf("spare retire failed: %+v", r3)
+	}
+	again := d.Read(0, cell.PageSize)[0].PPN
+	if d.blockOf(again) != d.totalBlocks()-2 {
+		t.Fatalf("chained remap landed on block %d, want %d", d.blockOf(again), d.totalBlocks()-2)
+	}
+	// Writes and erases follow the same indirection.
+	if w := d.Write(0, cell.PageSize)[0].PPN; w != again {
+		t.Fatalf("write PPN %d diverges from read PPN %d", w, again)
+	}
+	if e := d.Erase(0, cell.BlockSize())[0].PPN; d.blockOf(e) != d.blockOf(again) {
+		t.Fatal("erase not redirected")
+	}
+}
+
+func TestDirectSpareExhaustion(t *testing.T) {
+	geo := nvm.Geometry{Channels: 2, PackagesPerChannel: 1, DiesPerPackage: 2, BlocksPerPlane: 40}
+	cell := nvm.Params(nvm.SLC)
+	d := NewDirect(geo, cell)
+	retired := 0
+	for b := int64(0); b < d.totalBlocks(); b++ {
+		r := d.RetireBlock(d.pageIn(b, 0))
+		if !r.OK {
+			break
+		}
+		if r.Retired {
+			retired++
+		}
+	}
+	if retired != DirectSpareBlocks {
+		t.Fatalf("retired %d blocks, want the %d-block spare region", retired, DirectSpareBlocks)
+	}
+}
+
+func TestZeroValueDirectCannotRetire(t *testing.T) {
+	d := Direct{Geo: nvm.PaperGeometry(), Cell: nvm.Params(nvm.SLC)}
+	if r := d.RetireBlock(0); r.OK || r.Retired {
+		t.Fatalf("zero-value Direct retired a block: %+v", r)
 	}
 }
