@@ -22,6 +22,7 @@ import (
 	"oocnvm/internal/interconnect"
 	"oocnvm/internal/linalg"
 	"oocnvm/internal/nvm"
+	"oocnvm/internal/obs/timeseries"
 	"oocnvm/internal/ooc"
 	"oocnvm/internal/sim"
 	"oocnvm/internal/ssd"
@@ -464,6 +465,47 @@ func BenchmarkSimulatorPageThroughput(b *testing.B) {
 
 func traceRead(off, size int64) trace.BlockOp {
 	return trace.BlockOp{Kind: trace.Read, Offset: off, Size: size}
+}
+
+// BenchmarkTelemetrySampling measures the cost of the report sampler on the
+// replay hot path. The "off" case is the default nil-sampler configuration and
+// must track BenchmarkSimulatorPageThroughput (a nil check per Submit is the
+// whole overhead); "on" pays for the periodic source sweeps.
+func BenchmarkTelemetrySampling(b *testing.B) {
+	geo := nvm.PaperGeometry()
+	cp := nvm.Params(nvm.SLC)
+	mk := func(samp *timeseries.Sampler) *ssd.SSD {
+		drive, err := ssd.New(ssd.Config{
+			Geometry: geo, Cell: cp, Bus: nvm.ONFi3SDR(),
+			Link:       interconnect.Infinite{},
+			Translator: ssd.NewDirect(geo, cp),
+			Seed:       1,
+			Sampler:    samp,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return drive
+	}
+	const req = 1 << 20
+	for _, bc := range []struct {
+		name string
+		samp func() *timeseries.Sampler
+	}{
+		{"off", func() *timeseries.Sampler { return nil }},
+		{"on", func() *timeseries.Sampler {
+			return timeseries.NewSampler(100*sim.Microsecond, 256)
+		}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			drive := mk(bc.samp())
+			b.SetBytes(req)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				drive.Submit(traceRead(int64(i)*req, req))
+			}
+		})
+	}
 }
 
 // BenchmarkSpMM measures the numerical kernel of the workload.

@@ -11,7 +11,8 @@ import (
 
 	"oocnvm/internal/interconnect"
 	"oocnvm/internal/nvm"
-	"oocnvm/internal/obs"
+	"oocnvm/internal/obs/export"
+	"oocnvm/internal/obs/report"
 	"oocnvm/internal/sim"
 	"oocnvm/internal/ssd"
 	"oocnvm/internal/trace"
@@ -31,17 +32,17 @@ func main() {
 		window   = flag.Int64("window", 0, "in-flight byte window in KiB (0 = queue-depth bound)")
 		qd       = flag.Int("qd", 32, "queue depth")
 		seed     = flag.Uint64("seed", 1, "seed")
-		traceOut = flag.String("trace-out", "", "write a Chrome trace_event JSON file (open in chrome://tracing or Perfetto)")
-		metrics  = flag.String("metrics-out", "", "write the metrics registry (JSON, or CSV with a .csv suffix)")
+		exp      export.Flags
 	)
+	exp.Register(flag.CommandLine)
 	flag.Parse()
-	if err := run(*cellName, *busName, *gen, *lanes, *bridged, *pattern, *kind, *reqKiB, *count, *window, *qd, *seed, *traceOut, *metrics); err != nil {
+	if err := run(*cellName, *busName, *gen, *lanes, *bridged, *pattern, *kind, *reqKiB, *count, *window, *qd, *seed, exp); err != nil {
 		fmt.Fprintln(os.Stderr, "nvmsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cellName, busName string, gen, lanes int, bridged bool, pattern, kind string, reqKiB int64, count int, windowKiB int64, qd int, seed uint64, traceOut, metricsOut string) error {
+func run(cellName, busName string, gen, lanes int, bridged bool, pattern, kind string, reqKiB int64, count int, windowKiB int64, qd int, seed uint64, exp export.Flags) error {
 	var cell nvm.CellType
 	switch cellName {
 	case "SLC":
@@ -72,10 +73,8 @@ func run(cellName, busName string, gen, lanes int, bridged bool, pattern, kind s
 
 	geo := nvm.PaperGeometry()
 	cp := nvm.Params(cell)
-	var col *obs.Collector
-	if traceOut != "" || metricsOut != "" {
-		col = obs.NewCollector()
-	}
+	col := exp.Collector()
+	samp := exp.Sampler()
 	sc := ssd.Config{
 		Geometry:    geo,
 		Cell:        cp,
@@ -85,6 +84,7 @@ func run(cellName, busName string, gen, lanes int, bridged bool, pattern, kind s
 		QueueDepth:  qd,
 		WindowBytes: windowKiB << 10,
 		Seed:        seed,
+		Sampler:     samp,
 	}
 	if col != nil {
 		sc.Probe = col
@@ -131,18 +131,24 @@ func run(cellName, busName string, gen, lanes int, bridged bool, pattern, kind s
 
 	if col != nil {
 		col.Reg.Absorb(drive.Dev.Registry())
-		obs.WriteStageTable(os.Stdout, col.Reg.Snapshot())
-		if traceOut != "" {
-			if err := col.WriteTraceFile(traceOut); err != nil {
-				return err
-			}
-			fmt.Printf("trace written to %s (%d spans, %d dropped)\n", traceOut, col.Tr.Len(), col.Tr.Dropped())
+	}
+	if exp.Enabled() {
+		info := report.RunInfo{
+			Title: fmt.Sprintf("nvmsim %s %s %s", cell, pattern, kind),
+			Params: [][2]string{
+				{"cell", cell.String()},
+				{"bus", bus.Name},
+				{"pcie", pcie.String()},
+				{"pattern", pattern},
+				{"op", kind},
+				{"request KiB", fmt.Sprint(reqKiB)},
+				{"requests", fmt.Sprint(count)},
+				{"queue depth", fmt.Sprint(qd)},
+				{"seed", fmt.Sprint(seed)},
+			},
 		}
-		if metricsOut != "" {
-			if err := col.WriteMetricsFile(metricsOut); err != nil {
-				return err
-			}
-			fmt.Printf("metrics written to %s\n", metricsOut)
+		if err := exp.Write(os.Stdout, col, samp, info); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -20,7 +20,9 @@ import (
 	"oocnvm/internal/experiment"
 	"oocnvm/internal/fault"
 	"oocnvm/internal/nvm"
-	"oocnvm/internal/obs"
+	"oocnvm/internal/obs/export"
+	"oocnvm/internal/obs/report"
+	"oocnvm/internal/obs/timeseries"
 	"oocnvm/internal/ooc"
 	"oocnvm/internal/sim"
 	"oocnvm/internal/trace"
@@ -41,12 +43,12 @@ func main() {
 		apps     = flag.Int("apps", 4, "operator applications (2 per LOBPCG iteration)")
 		seed     = flag.Uint64("seed", 42, "simulation seed")
 		qd       = flag.Int("qd", 32, "host queue depth")
-		traceOut = flag.String("trace-out", "", "write a Chrome trace_event JSON file of all probed runs")
-		metrics  = flag.String("metrics-out", "", "write the aggregate metrics registry (JSON, or CSV with a .csv suffix)")
 		faultP   = flag.String("fault-profile", "none", "reliability profile for the achieved runs: none, fresh, worn, eol")
 		retDays  = flag.Float64("retention-days", 0, "age all data by this many days of retention")
 		precycle = flag.Int64("precycle", 0, "pre-age every block by this many P/E cycles")
+		exp      export.Flags
 	)
+	exp.Register(flag.CommandLine)
 	flag.Parse()
 
 	opt := experiment.DefaultOptions()
@@ -65,35 +67,50 @@ func main() {
 	opt.Fault = prof
 	opt.RetentionDays = *retDays
 	opt.PrecyclePE = *precycle
-	if *traceOut != "" || *metrics != "" {
-		opt.Obs = obs.NewCollector()
-	}
+	opt.Obs = exp.Collector()
+	samp := exp.Sampler()
 
-	if err := run(opt, *fig, *table, *summary, *topology, *distrib, *energy, *cacheF, *chart); err != nil {
+	if err := run(opt, *fig, *table, *summary, *topology, *distrib, *energy, *cacheF, *chart, samp); err != nil {
 		fmt.Fprintln(os.Stderr, "oocbench:", err)
 		os.Exit(1)
 	}
-	if opt.Obs != nil {
-		obs.WriteStageTable(os.Stdout, opt.Obs.Reg.Snapshot())
-		if *traceOut != "" {
-			if err := opt.Obs.WriteTraceFile(*traceOut); err != nil {
-				fmt.Fprintln(os.Stderr, "oocbench:", err)
-				os.Exit(1)
-			}
-			fmt.Printf("trace written to %s (%d spans, %d dropped)\n",
-				*traceOut, opt.Obs.Tr.Len(), opt.Obs.Tr.Dropped())
+	// The cache study samples its own synthetic clock; every other mode gets
+	// its timelines from a dedicated single sampled run (the matrix runs
+	// concurrently, which a single-clock sampler cannot attach to).
+	if samp != nil && !*cacheF {
+		sopt := opt
+		sopt.MeasureRemaining = false
+		sopt.Sampler = samp
+		cfg, err := experiment.FindConfig("CNL-EXT4")
+		if err == nil {
+			_, err = experiment.Run(cfg, nvm.TLC, sopt)
 		}
-		if *metrics != "" {
-			if err := opt.Obs.WriteMetricsFile(*metrics); err != nil {
-				fmt.Fprintln(os.Stderr, "oocbench:", err)
-				os.Exit(1)
-			}
-			fmt.Printf("metrics written to %s\n", *metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oocbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry: sampled a dedicated CNL-EXT4/TLC run every %v\n", samp.Interval())
+	}
+	if exp.Enabled() {
+		info := report.RunInfo{
+			Title: "oocbench evaluation",
+			Params: [][2]string{
+				{"matrix MiB", fmt.Sprint(*matrix)},
+				{"panel MiB", fmt.Sprint(*panel)},
+				{"applications", fmt.Sprint(*apps)},
+				{"queue depth", fmt.Sprint(*qd)},
+				{"seed", fmt.Sprint(*seed)},
+				{"fault profile", *faultP},
+			},
+		}
+		if err := exp.Write(os.Stdout, opt.Obs, samp, info); err != nil {
+			fmt.Fprintln(os.Stderr, "oocbench:", err)
+			os.Exit(1)
 		}
 	}
 }
 
-func run(opt experiment.Options, fig, table string, summary, topology, distrib, energyFlag, cacheFlag, chart bool) error {
+func run(opt experiment.Options, fig, table string, summary, topology, distrib, energyFlag, cacheFlag, chart bool, samp *timeseries.Sampler) error {
 	cells := nvm.CellTypes
 
 	switch {
@@ -120,7 +137,7 @@ func run(opt experiment.Options, fig, table string, summary, topology, distrib, 
 	case energyFlag:
 		return printEnergy()
 	case cacheFlag:
-		return printCacheStudy(opt)
+		return printCacheStudy(opt, samp)
 	}
 
 	// Everything else needs the measurement matrix.
@@ -256,7 +273,7 @@ func printEnergy() error {
 	return nil
 }
 
-func printCacheStudy(opt experiment.Options) error {
+func printCacheStudy(opt experiment.Options, samp *timeseries.Sampler) error {
 	posix, err := opt.Workload.PosixTrace()
 	if err != nil {
 		return err
@@ -270,7 +287,13 @@ func printCacheStudy(opt experiment.Options) error {
 		opt.Workload.MatrixBytes>>20)
 	for _, frac := range []int64{2, 1} {
 		capacity := opt.Workload.MatrixBytes / frac
-		st, err := cache.RunStudy(ops, capacity, 64<<10, opt.Workload.MatrixBytes, fastBW, slowBW)
+		// Only the half-sized cache (the interesting heat-up curve) feeds the
+		// report's timeline; the sampler keeps one clock.
+		ts := samp
+		if frac != 2 {
+			ts = nil
+		}
+		st, err := cache.RunStudySampled(ops, capacity, 64<<10, opt.Workload.MatrixBytes, fastBW, slowBW, ts)
 		if err != nil {
 			return err
 		}

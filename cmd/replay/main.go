@@ -14,7 +14,8 @@ import (
 	"oocnvm/internal/fault"
 	"oocnvm/internal/ftl"
 	"oocnvm/internal/nvm"
-	"oocnvm/internal/obs"
+	"oocnvm/internal/obs/export"
+	"oocnvm/internal/obs/report"
 	"oocnvm/internal/ssd"
 	"oocnvm/internal/trace"
 )
@@ -29,8 +30,7 @@ type options struct {
 	paqDepth      int
 	cache         bool
 	seed          uint64
-	traceOut      string
-	metricsOut    string
+	exp           export.Flags
 	faultProfile  string
 	retentionDays float64
 	precycle      int64
@@ -48,8 +48,7 @@ func main() {
 	flag.IntVar(&o.paqDepth, "paq", 0, "physically-addressed-queueing window (0 = FIFO)")
 	flag.BoolVar(&o.cache, "cachemode", false, "enable dual-register cache operation")
 	flag.Uint64Var(&o.seed, "seed", 42, "seed")
-	flag.StringVar(&o.traceOut, "trace-out", "", "write a Chrome trace_event JSON file (open in chrome://tracing or Perfetto)")
-	flag.StringVar(&o.metricsOut, "metrics-out", "", "write the metrics registry (JSON, or CSV with a .csv suffix)")
+	o.exp.Register(flag.CommandLine)
 	flag.StringVar(&o.faultProfile, "fault-profile", "none", "reliability profile: none, fresh, worn, eol")
 	flag.Float64Var(&o.retentionDays, "retention-days", 0, "age all data by this many days of retention")
 	flag.Int64Var(&o.precycle, "precycle", 0, "pre-age every block by this many P/E cycles")
@@ -113,10 +112,8 @@ func run(o options, w io.Writer) error {
 
 	// Observability is collected only when an export was requested; the
 	// stack runs with free no-op probes otherwise.
-	var col *obs.Collector
-	if o.traceOut != "" || o.metricsOut != "" {
-		col = obs.NewCollector()
-	}
+	col := o.exp.Collector()
+	samp := o.exp.Sampler()
 
 	link := cfg.BuildLink()
 	sc := ssd.Config{
@@ -129,6 +126,7 @@ func run(o options, w io.Writer) error {
 		WindowBytes: o.windowKiB << 10,
 		CacheMode:   o.cache,
 		Seed:        o.seed,
+		Sampler:     samp,
 	}
 	if col != nil {
 		sc.Probe = col
@@ -182,19 +180,27 @@ func run(o options, w io.Writer) error {
 
 	if col != nil {
 		col.Reg.Absorb(drive.Dev.Registry())
-		obs.WriteStageTable(w, col.Reg.Snapshot())
-		if o.traceOut != "" {
-			if err := col.WriteTraceFile(o.traceOut); err != nil {
-				return err
-			}
-			fmt.Fprintf(w, "trace written to %s (%d spans, %d dropped)\n",
-				o.traceOut, col.Tr.Len(), col.Tr.Dropped())
+	}
+	if o.exp.Enabled() {
+		info := report.RunInfo{
+			Title: fmt.Sprintf("replay %s on %s/%s", o.file, cfg.Name, cell),
+			Params: [][2]string{
+				{"trace", o.file},
+				{"config", cfg.Name},
+				{"cell", cell.String()},
+				{"pcie", cfg.PCIe.String()},
+				{"bus", cfg.Bus.Name},
+				{"queue depth", fmt.Sprint(o.qd)},
+				{"window KiB", fmt.Sprint(o.windowKiB)},
+				{"seed", fmt.Sprint(o.seed)},
+				{"fault profile", o.faultProfile},
+			},
 		}
-		if o.metricsOut != "" {
-			if err := col.WriteMetricsFile(o.metricsOut); err != nil {
-				return err
-			}
-			fmt.Fprintf(w, "metrics written to %s\n", o.metricsOut)
+		if sc.Fault != nil {
+			info.FaultSummary = res.Faults.String()
+		}
+		if err := o.exp.Write(w, col, samp, info); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"oocnvm/internal/obs/export"
 	"oocnvm/internal/trace"
 )
 
@@ -45,13 +46,12 @@ func TestReplayObservabilityEndToEnd(t *testing.T) {
 	metricsOut := filepath.Join(dir, "metrics.json")
 	var out bytes.Buffer
 	err := run(options{
-		file:       writeTestTrace(t),
-		cfgName:    "CNL-UFS",
-		cellName:   "SLC",
-		qd:         32,
-		seed:       42,
-		traceOut:   traceOut,
-		metricsOut: metricsOut,
+		file:     writeTestTrace(t),
+		cfgName:  "CNL-UFS",
+		cellName: "SLC",
+		qd:       32,
+		seed:     42,
+		exp:      export.Flags{TraceOut: traceOut, MetricsOut: metricsOut},
 	}, &out)
 	if err != nil {
 		t.Fatal(err)
@@ -259,5 +259,110 @@ func TestReplayFaultProfileEndToEnd(t *testing.T) {
 		faultProfile: "bogus",
 	}, &out); err == nil || !strings.Contains(err.Error(), "bogus") {
 		t.Fatalf("bad profile error = %v", err)
+	}
+}
+
+// TestReplayExportsGoldenDeterminism is the telemetry determinism contract:
+// two replays of the same trace with the same seed must produce byte-identical
+// metrics (JSON and CSV), report HTML, and report series CSV. Everything in
+// the export path is driven by the simulated clock, so any divergence means
+// wall time or map order leaked into an artifact.
+func TestReplayExportsGoldenDeterminism(t *testing.T) {
+	file := writeTestTrace(t)
+	artifacts := func(dir string) (opts options, paths []string) {
+		opts = options{
+			file: file, cfgName: "CNL-EXT4", cellName: "TLC", qd: 32, seed: 7,
+			faultProfile: "worn",
+			exp: export.Flags{
+				MetricsOut: filepath.Join(dir, "metrics.json"),
+				ReportOut:  filepath.Join(dir, "report.html"),
+				SampleUS:   100,
+			},
+		}
+		paths = []string{
+			opts.exp.MetricsOut,
+			filepath.Join(dir, "metrics.csv"),
+			opts.exp.ReportOut,
+			filepath.Join(dir, "report.csv"),
+		}
+		return opts, paths
+	}
+
+	dirA, dirB := t.TempDir(), t.TempDir()
+	optsA, pathsA := artifacts(dirA)
+	optsB, pathsB := artifacts(dirB)
+	// The CSV metrics flavor rides along via a second metrics path.
+	var outA, outB bytes.Buffer
+	if err := run(optsA, &outA); err != nil {
+		t.Fatal(err)
+	}
+	csvOptsA := optsA
+	csvOptsA.exp = export.Flags{MetricsOut: pathsA[1]}
+	if err := run(csvOptsA, &outA); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(optsB, &outB); err != nil {
+		t.Fatal(err)
+	}
+	csvOptsB := optsB
+	csvOptsB.exp = export.Flags{MetricsOut: pathsB[1]}
+	if err := run(csvOptsB, &outB); err != nil {
+		t.Fatal(err)
+	}
+
+	// Console comparison skips the confirmation lines (they embed the
+	// per-run temp paths); everything else must match byte for byte.
+	strip := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.Contains(line, "written to") {
+				continue
+			}
+			keep = append(keep, line)
+		}
+		return strings.Join(keep, "\n")
+	}
+	if strip(outA.String()) != strip(outB.String()) {
+		t.Fatalf("console output diverged:\n%s\nvs\n%s", outA.String(), outB.String())
+	}
+	for i := range pathsA {
+		a, err := os.ReadFile(pathsA[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(pathsB[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) == 0 {
+			t.Fatalf("artifact %s empty", pathsA[i])
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("artifact %s differs between same-seed runs", filepath.Base(pathsA[i]))
+		}
+	}
+
+	// The report must carry the acceptance floor of distinct timelines.
+	csv, err := os.ReadFile(pathsA[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string]bool{}
+	for _, line := range strings.Split(string(csv), "\n")[1:] {
+		if i := strings.IndexByte(line, ','); i > 0 {
+			series[line[:i]] = true
+		}
+	}
+	if len(series) < 6 {
+		t.Fatalf("report CSV has %d distinct series, want >= 6: %v", len(series), series)
+	}
+	html, err := os.ReadFile(pathsA[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range series {
+		if !strings.Contains(string(html), name) {
+			t.Fatalf("report HTML missing sampled series %q", name)
+		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"container/list"
 	"fmt"
 
+	"oocnvm/internal/obs/timeseries"
 	"oocnvm/internal/sim"
 	"oocnvm/internal/trace"
 )
@@ -113,6 +114,25 @@ type Study struct {
 // distinct byte footprint the workload cycles through; fastBW and slowBW are
 // the local-NVM and remote-path bandwidths.
 func RunStudy(ops []trace.BlockOp, capacity, blockSize, workingSet int64, fastBW, slowBW float64) (Study, error) {
+	return RunStudySampled(ops, capacity, blockSize, workingSet, fastBW, slowBW, nil)
+}
+
+// RegisterSeries registers the cache's time-resolved hit rate: per-interval
+// hits over per-interval accesses, the heat-up curve the paper's caching
+// critique is about.
+func (c *BlockCache) RegisterSeries(ts *timeseries.Sampler) {
+	ts.AddRatio("cache.hit_rate",
+		func(sim.Time) float64 { return float64(c.hits) },
+		func(sim.Time) float64 { return float64(c.hits + c.misses) })
+}
+
+// RunStudySampled is RunStudy with optional time-resolved telemetry: each
+// byte advances a synthetic clock at the speed of the path it took (the same
+// harmonic model the end-of-run bandwidth uses), and the sampler records the
+// per-interval hit rate against that clock — so the report shows the cache
+// heating up over simulated time rather than one lifetime average. A nil
+// sampler is the plain study.
+func RunStudySampled(ops []trace.BlockOp, capacity, blockSize, workingSet int64, fastBW, slowBW float64, ts *timeseries.Sampler) (Study, error) {
 	if fastBW <= 0 || slowBW <= 0 {
 		return Study{}, fmt.Errorf("cache: bandwidths must be positive")
 	}
@@ -120,7 +140,11 @@ func RunStudy(ops []trace.BlockOp, capacity, blockSize, workingSet int64, fastBW
 	if err != nil {
 		return Study{}, err
 	}
+	if ts != nil {
+		timeseries.Instrument(c, ts)
+	}
 	var hitBytes, missBytes int64
+	var clock sim.Time
 	for _, op := range ops {
 		if op.Kind != trace.Read {
 			continue
@@ -128,6 +152,11 @@ func RunStudy(ops []trace.BlockOp, capacity, blockSize, workingSet int64, fastBW
 		h, m := c.Access(op.Offset, op.Size)
 		hitBytes += h * blockSize
 		missBytes += m * blockSize
+		if ts != nil {
+			clock += sim.DurationForBytes(h*blockSize, fastBW)
+			clock += sim.DurationForBytes(m*blockSize, slowBW)
+			ts.Advance(clock)
+		}
 	}
 	s := Study{HitRate: c.HitRate()}
 	total := hitBytes + missBytes

@@ -10,6 +10,7 @@ import (
 	"oocnvm/internal/interconnect"
 	"oocnvm/internal/nvm"
 	"oocnvm/internal/obs"
+	"oocnvm/internal/obs/timeseries"
 	"oocnvm/internal/ooc"
 	"oocnvm/internal/ssd"
 	"oocnvm/internal/trace"
@@ -39,6 +40,11 @@ type Options struct {
 	// PrecyclePE adds this many program/erase cycles of wear to every block
 	// before the run, on top of the profile's PrecycleFrac.
 	PrecyclePE int64
+	// Sampler, when non-nil, records time-resolved telemetry from the
+	// achieved run. Unlike Obs it is NOT safe to share across concurrent
+	// runs (the sampler belongs to one drive's clock), so Matrix drops it;
+	// attach it only to a dedicated single Run.
+	Sampler *timeseries.Sampler
 }
 
 // DefaultOptions returns the evaluation defaults: the standard OoC workload
@@ -159,6 +165,9 @@ func replay(cfg Config, cell nvm.CellType, opt Options, ops []trace.BlockOp, win
 	if col != nil {
 		sc.Probe = col
 	}
+	if withFaults && opt.Sampler != nil {
+		sc.Sampler = opt.Sampler
+	}
 	if withFaults && opt.Fault.Enabled() {
 		fc := nvm.FaultConfig(opt.Geometry, cp, opt.Fault, opt.Seed)
 		fc.RetentionDays = opt.RetentionDays
@@ -183,6 +192,10 @@ func replay(cfg Config, cell nvm.CellType, opt Options, ops []trace.BlockOp, win
 // Matrix evaluates every (configuration, cell) pair concurrently and returns
 // measurements in (config-major, cell-minor) order.
 func Matrix(configs []Config, cells []nvm.CellType, opt Options) ([]Measurement, error) {
+	// A sampler is single-clock state; concurrent cells would race on it and
+	// interleave unrelated runs into one timeline. Matrix measurements are
+	// aggregate-only.
+	opt.Sampler = nil
 	type job struct{ ci, ni int }
 	out := make([]Measurement, len(configs)*len(cells))
 	errs := make([]error, len(out))

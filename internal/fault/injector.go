@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"oocnvm/internal/obs"
+	"oocnvm/internal/obs/timeseries"
 	"oocnvm/internal/sim"
 )
 
@@ -310,6 +311,17 @@ func (i *Injector) ReadOnly() bool { return i.readOnly }
 func (i *Injector) RejectOp() {
 	i.counts.RejectedOps++
 	i.probe.Count("fault.rejected_ops", 1)
+}
+
+// RegisterSeries registers the injector's time-resolved telemetry: fault
+// events per sampling interval. Registered even for a disabled profile so
+// the report's series set is stable across fault configurations (the series
+// are simply flat at zero).
+func (i *Injector) RegisterSeries(ts *timeseries.Sampler) {
+	ts.AddDelta("fault.corrected", func(sim.Time) float64 { return float64(i.counts.Corrected) })
+	ts.AddDelta("fault.retried", func(sim.Time) float64 { return float64(i.counts.Retried) })
+	ts.AddDelta("fault.uncorrectable", func(sim.Time) float64 { return float64(i.counts.Uncorrectable) })
+	ts.AddDelta("fault.grown_bad_blocks", func(sim.Time) float64 { return float64(i.counts.GrownBadBlocks) })
 }
 
 // Counts snapshots the injector's counters.

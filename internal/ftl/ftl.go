@@ -15,6 +15,8 @@ import (
 
 	"oocnvm/internal/nvm"
 	"oocnvm/internal/obs"
+	"oocnvm/internal/obs/timeseries"
+	"oocnvm/internal/sim"
 )
 
 // FTL is a page-mapped translation layer over one device's geometry.
@@ -326,6 +328,16 @@ func (f *FTL) Stats() Stats {
 		FreeSuper:      f.usableFree(),
 		GrownBadSuper:  f.grownBad,
 	}
+}
+
+// RegisterSeries registers the FTL's time-resolved telemetry: GC runs and
+// relocated pages per interval, plus the running write amplification and the
+// free-pool depth as instantaneous gauges.
+func (f *FTL) RegisterSeries(ts *timeseries.Sampler) {
+	ts.AddDelta("ftl.gc_runs", func(sim.Time) float64 { return float64(f.gcRuns) })
+	ts.AddDelta("ftl.gc_relocated_pages", func(sim.Time) float64 { return float64(f.relocated) })
+	ts.AddGauge("ftl.write_amplification", func(sim.Time) float64 { return f.WriteAmplification() })
+	ts.AddGauge("ftl.free_superblocks", func(sim.Time) float64 { return float64(f.usableFree()) })
 }
 
 // usableFree counts free superblocks still fit for allocation (the heap may

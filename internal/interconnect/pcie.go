@@ -192,6 +192,19 @@ func (c *Chain) RequestOverhead() sim.Time {
 	return t
 }
 
+// Busy reports the accumulated transfer time of the bottleneck (busiest)
+// stage, so chain occupancy never exceeds one link's worth of time and the
+// telemetry fraction stays in [0,1].
+func (c *Chain) Busy() sim.Time {
+	var max sim.Time
+	for _, s := range c.Stages {
+		if b := s.Busy(); b > max {
+			max = b
+		}
+	}
+	return max
+}
+
 // BytesPerSec reports the bottleneck stage's bandwidth.
 func (c *Chain) BytesPerSec() float64 {
 	min := 1e18

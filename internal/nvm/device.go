@@ -5,6 +5,7 @@ import (
 
 	"oocnvm/internal/fault"
 	"oocnvm/internal/obs"
+	"oocnvm/internal/obs/timeseries"
 	"oocnvm/internal/sim"
 )
 
@@ -184,6 +185,42 @@ func (d *Device) Registry() *obs.Registry { return d.reg }
 func (d *Device) SetProbe(p obs.Probe) {
 	d.probe = obs.OrNop(p)
 	obs.Instrument(d.link, p)
+}
+
+// ChannelBusy sums the cumulative booked busy time of every channel bus.
+func (d *Device) ChannelBusy() sim.Time {
+	var t sim.Time
+	for i := range d.chanBus {
+		t += d.chanBus[i].Busy()
+	}
+	return t
+}
+
+// DieBusy sums the cumulative booked busy time of every die.
+func (d *Device) DieBusy() sim.Time {
+	var t sim.Time
+	for c := range d.dies {
+		for i := range d.dies[c] {
+			t += d.dies[c][i].Busy()
+		}
+	}
+	return t
+}
+
+// RegisterSeries registers the device's time-resolved telemetry: per-pool
+// busy fractions for channel buses and dies, and — when the host link tracks
+// its own occupancy — the interconnect's busy fraction. Busy time is booked
+// at dispatch, so a sample can include work scheduled past its boundary; the
+// sampler clamps fractions at export (dispatch-horizon sampling).
+func (d *Device) RegisterSeries(ts *timeseries.Sampler) {
+	ts.AddFraction("nvm.channel_util", float64(d.Geo.Channels),
+		func(sim.Time) float64 { return float64(d.ChannelBusy()) })
+	ts.AddFraction("nvm.die_util", float64(d.Geo.Channels*d.Geo.DiesPerChannel()),
+		func(sim.Time) float64 { return float64(d.DieBusy()) })
+	if l, ok := d.link.(interface{ Busy() sim.Time }); ok {
+		ts.AddFraction("interconnect.link_occupancy", 1,
+			func(sim.Time) float64 { return float64(l.Busy()) })
+	}
 }
 
 // regTime is the register/SRAM staging cost between a die's page register and

@@ -1,0 +1,150 @@
+// Package export is the shared observability flag plumbing of the CLIs.
+// Every command takes the same four flags (-trace-out, -metrics-out,
+// -report-out, -sample-us); this package registers them once, builds the
+// collector/sampler pair they imply, and writes every requested artifact the
+// same way — instead of each main duplicating the logic.
+package export
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"oocnvm/internal/obs"
+	"oocnvm/internal/obs/report"
+	"oocnvm/internal/obs/timeseries"
+	"oocnvm/internal/sim"
+)
+
+// Flags holds the observability export options of one command invocation.
+type Flags struct {
+	// TraceOut writes a Chrome trace_event JSON file.
+	TraceOut string
+	// MetricsOut writes the metrics registry (JSON, or CSV with .csv suffix).
+	MetricsOut string
+	// ReportOut writes the self-contained HTML experiment report plus a CSV
+	// of every sampled series next to it.
+	ReportOut string
+	// SampleUS is the telemetry sampling interval in simulated microseconds.
+	SampleUS int64
+}
+
+// DefaultSampleUS is the default sampling interval: fine enough to resolve
+// individual large requests, and the sampler coarsens itself on long runs.
+const DefaultSampleUS = 50
+
+// Register installs the shared export flags on fs.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.TraceOut, "trace-out", "",
+		"write a Chrome trace_event JSON file (open in chrome://tracing or Perfetto)")
+	fs.StringVar(&f.MetricsOut, "metrics-out", "",
+		"write the metrics registry (JSON, or CSV with a .csv suffix)")
+	fs.StringVar(&f.ReportOut, "report-out", "",
+		"write a self-contained HTML experiment report (plus a .csv of every sampled series)")
+	fs.Int64Var(&f.SampleUS, "sample-us", DefaultSampleUS,
+		"telemetry sampling interval in simulated microseconds (report timelines)")
+}
+
+// Enabled reports whether any export was requested.
+func (f *Flags) Enabled() bool {
+	return f.TraceOut != "" || f.MetricsOut != "" || f.ReportOut != ""
+}
+
+// Collector returns a fresh collector when any export needs one, nil
+// otherwise — so the stack runs with free no-op probes unless asked.
+func (f *Flags) Collector() *obs.Collector {
+	if !f.Enabled() {
+		return nil
+	}
+	return obs.NewCollector()
+}
+
+// Sampler returns a fresh time-series sampler when a report was requested,
+// nil otherwise (sampling off means zero overhead).
+func (f *Flags) Sampler() *timeseries.Sampler {
+	if f.ReportOut == "" {
+		return nil
+	}
+	us := f.SampleUS
+	if us <= 0 {
+		us = DefaultSampleUS
+	}
+	return timeseries.NewSampler(sim.Time(us)*sim.Microsecond, 0)
+}
+
+// ReportCSVPath derives the series-CSV path from the report path:
+// report.html -> report.csv, anything else gets .csv appended.
+func ReportCSVPath(reportOut string) string {
+	if strings.HasSuffix(reportOut, ".html") {
+		return strings.TrimSuffix(reportOut, ".html") + ".csv"
+	}
+	return reportOut + ".csv"
+}
+
+// Write emits every requested artifact: the per-stage latency table on w,
+// then the trace, metrics, report HTML and report CSV files, each confirmed
+// with one line on w. col and samp may each be nil (that export is skipped);
+// info feeds the report's header sections.
+func (f *Flags) Write(w io.Writer, col *obs.Collector, samp *timeseries.Sampler, info report.RunInfo) error {
+	snap := obs.Snapshot{}
+	if col != nil {
+		col.SyncTracerMetrics()
+		snap = col.Reg.Snapshot()
+		obs.WriteStageTable(w, snap)
+		if f.TraceOut != "" {
+			if err := col.WriteTraceFile(f.TraceOut); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "trace written to %s (%d spans, %d dropped)\n",
+				f.TraceOut, col.Tr.Len(), col.Tr.Dropped())
+		}
+		if f.MetricsOut != "" {
+			if err := col.WriteMetricsFile(f.MetricsOut); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "metrics written to %s\n", f.MetricsOut)
+		}
+	}
+	if f.ReportOut != "" {
+		dump := timeseries.Dump{}
+		if samp != nil {
+			dump = samp.Dump()
+		}
+		hf, err := os.Create(f.ReportOut)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteHTML(hf, info, snap, dump); err != nil {
+			hf.Close()
+			return err
+		}
+		if err := hf.Close(); err != nil {
+			return err
+		}
+		csvPath := ReportCSVPath(f.ReportOut)
+		cf, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		if samp != nil {
+			if err := samp.WriteCSV(cf); err != nil {
+				cf.Close()
+				return err
+			}
+		} else if _, err := fmt.Fprintln(cf, "series,kind,t_ps,value"); err != nil {
+			cf.Close()
+			return err
+		}
+		if err := cf.Close(); err != nil {
+			return err
+		}
+		n := 0
+		if samp != nil {
+			n = len(samp.SeriesNames())
+		}
+		fmt.Fprintf(w, "report written to %s (%d series, csv %s)\n", f.ReportOut, n, csvPath)
+	}
+	return nil
+}

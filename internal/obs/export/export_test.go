@@ -1,0 +1,138 @@
+package export
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"oocnvm/internal/obs"
+	"oocnvm/internal/obs/report"
+	"oocnvm/internal/sim"
+)
+
+func TestRegisterParsesSharedFlags(t *testing.T) {
+	var f Flags
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f.Register(fs)
+	if err := fs.Parse([]string{
+		"-trace-out", "t.json", "-metrics-out", "m.csv",
+		"-report-out", "r.html", "-sample-us", "250",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if f.TraceOut != "t.json" || f.MetricsOut != "m.csv" || f.ReportOut != "r.html" || f.SampleUS != 250 {
+		t.Fatalf("parsed flags = %+v", f)
+	}
+	if !f.Enabled() {
+		t.Fatal("Enabled() = false with all exports set")
+	}
+	if f.Collector() == nil || f.Sampler() == nil {
+		t.Fatal("collector/sampler missing when requested")
+	}
+	if iv := f.Sampler().Interval(); iv != 250*sim.Microsecond {
+		t.Fatalf("sampler interval = %v, want 250us", iv)
+	}
+}
+
+func TestDisabledFlagsBuildNothing(t *testing.T) {
+	var f Flags
+	if f.Enabled() {
+		t.Fatal("zero Flags enabled")
+	}
+	if f.Collector() != nil {
+		t.Fatal("collector built with no exports")
+	}
+	if f.Sampler() != nil {
+		t.Fatal("sampler built without -report-out")
+	}
+	// Metrics-only runs need a collector but no sampler.
+	f.MetricsOut = "m.json"
+	if f.Collector() == nil {
+		t.Fatal("collector missing for metrics-only run")
+	}
+	if f.Sampler() != nil {
+		t.Fatal("sampler built for metrics-only run")
+	}
+}
+
+func TestReportCSVPath(t *testing.T) {
+	if got := ReportCSVPath("out/report.html"); got != "out/report.csv" {
+		t.Fatalf("ReportCSVPath(html) = %q", got)
+	}
+	if got := ReportCSVPath("report"); got != "report.csv" {
+		t.Fatalf("ReportCSVPath(bare) = %q", got)
+	}
+}
+
+func TestWriteEmitsEveryArtifact(t *testing.T) {
+	dir := t.TempDir()
+	f := Flags{
+		TraceOut:   filepath.Join(dir, "trace.json"),
+		MetricsOut: filepath.Join(dir, "metrics.json"),
+		ReportOut:  filepath.Join(dir, "report.html"),
+		SampleUS:   100,
+	}
+	col := f.Collector()
+	samp := f.Sampler()
+	col.Span(obs.LayerSSD, "drive", "req", 0, sim.Millisecond)
+	col.Count("ssd.data_bytes", 4096)
+	busy := 0.0
+	samp.AddGauge("ssd.queue_depth", func(sim.Time) float64 { busy++; return busy })
+	samp.Advance(sim.Millisecond)
+
+	var out bytes.Buffer
+	if err := f.Write(&out, col, samp, report.RunInfo{
+		Title:  "export test",
+		Params: [][2]string{{"seed", "42"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"trace written to", "metrics written to", "report written to",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("confirmation %q missing:\n%s", want, out.String())
+		}
+	}
+	for _, p := range []string{
+		f.TraceOut, f.MetricsOut, f.ReportOut, filepath.Join(dir, "report.csv"),
+	} {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatalf("artifact missing: %v", err)
+		}
+		if len(b) == 0 {
+			t.Fatalf("artifact %s empty", p)
+		}
+	}
+	html, _ := os.ReadFile(f.ReportOut)
+	if !strings.Contains(string(html), "ssd.queue_depth") {
+		t.Fatal("report HTML missing sampled series")
+	}
+	csv, _ := os.ReadFile(filepath.Join(dir, "report.csv"))
+	if !strings.HasPrefix(string(csv), "series,kind,t_ps,value") {
+		t.Fatalf("report CSV header wrong: %q", string(csv)[:40])
+	}
+}
+
+func TestWriteWithNilCollectorAndSampler(t *testing.T) {
+	dir := t.TempDir()
+	f := Flags{ReportOut: filepath.Join(dir, "r.html")}
+	var out bytes.Buffer
+	if err := f.Write(&out, nil, nil, report.RunInfo{Title: "empty"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(f.ReportOut); err != nil {
+		t.Fatal(err)
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "r.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(csv)) != "series,kind,t_ps,value" {
+		t.Fatalf("nil-sampler CSV = %q", string(csv))
+	}
+}

@@ -71,9 +71,12 @@ func (h *Histogram) Sum() sim.Time {
 	return h.sum
 }
 
-// Quantile returns the q-quantile (0 < q <= 1) as a conservative bucket
-// upper bound, clamped to the exact observed [min, max]. An empty histogram
-// yields zero.
+// Quantile returns the q-quantile as a conservative bucket upper bound,
+// clamped to the exact observed [min, max]. Every input yields a defined
+// value: an empty histogram returns zero for any q; q <= 0 returns the
+// observed minimum, q > 1 the observed maximum; and a single-sample
+// histogram collapses every quantile to that sample (the [min, max] clamp
+// leaves the bucket bound nowhere else to go).
 func (h *Histogram) Quantile(q float64) sim.Time {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -83,6 +86,12 @@ func (h *Histogram) Quantile(q float64) sim.Time {
 func (h *Histogram) quantileLocked(q float64) sim.Time {
 	if h.count == 0 {
 		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q > 1 {
+		q = 1
 	}
 	// Rank of the target sample, 1-based: ceil(q * count).
 	rank := int64(q * float64(h.count))

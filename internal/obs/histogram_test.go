@@ -134,3 +134,28 @@ func TestHistogramAbsorb(t *testing.T) {
 		t.Fatal("empty absorb mutated histogram")
 	}
 }
+
+func TestHistogramQuantileOutOfRangeClamps(t *testing.T) {
+	h := NewRegistry().Histogram("x")
+	lo, hi := 100*sim.Nanosecond, 9*sim.Microsecond
+	h.Observe(lo)
+	h.Observe(3 * sim.Microsecond)
+	h.Observe(hi)
+	if got := h.Quantile(0); got != lo {
+		t.Fatalf("quantile(0) = %v, want observed min %v", got, lo)
+	}
+	if got := h.Quantile(-0.5); got != lo {
+		t.Fatalf("quantile(-0.5) = %v, want observed min %v", got, lo)
+	}
+	if got := h.Quantile(2); got != h.Quantile(1) {
+		t.Fatalf("quantile(2) = %v, want quantile(1) = %v", got, h.Quantile(1))
+	}
+	if got := h.Quantile(1); got != hi {
+		t.Fatalf("quantile(1) = %v, want observed max %v", got, hi)
+	}
+	// Out-of-range q on an empty histogram stays zero.
+	e := NewRegistry().Histogram("e")
+	if e.Quantile(-1) != 0 || e.Quantile(2) != 0 {
+		t.Fatalf("empty out-of-range quantiles nonzero: %v %v", e.Quantile(-1), e.Quantile(2))
+	}
+}

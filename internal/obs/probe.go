@@ -125,12 +125,26 @@ func (c *Collector) WriteTraceFile(path string) error {
 	return f.Close()
 }
 
+// SyncTracerMetrics mirrors the tracer's span totals into the registry as
+// obs.trace.spans / obs.trace.dropped_spans, so a truncated trace is
+// detectable from the metrics export alone. Overwrite semantics: calling it
+// before every export is safe and never double-counts.
+func (c *Collector) SyncTracerMetrics() {
+	if c.Reg == nil || c.Tr == nil {
+		return
+	}
+	c.Reg.Counter("obs.trace.spans").set(int64(c.Tr.Len()))
+	c.Reg.Counter("obs.trace.dropped_spans").set(c.Tr.Dropped())
+}
+
 // WriteMetricsFile writes the registry snapshot to path: CSV when the path
-// ends in ".csv", indented JSON otherwise.
+// ends in ".csv", indented JSON otherwise. The tracer's span totals are
+// synced into the registry first (SyncTracerMetrics).
 func (c *Collector) WriteMetricsFile(path string) error {
 	if c.Reg == nil {
 		return fmt.Errorf("obs: collector has no registry")
 	}
+	c.SyncTracerMetrics()
 	f, err := os.Create(path)
 	if err != nil {
 		return err

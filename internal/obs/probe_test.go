@@ -86,3 +86,23 @@ func TestInstrument(t *testing.T) {
 		t.Fatal("Instrument accepted a non-implementor")
 	}
 }
+
+func TestSyncTracerMetrics(t *testing.T) {
+	c := NewCollector()
+	c.Tr.SetLimit(2)
+	for i := 0; i < 5; i++ {
+		c.Span(LayerSSD, "t", "op", sim.Time(i), sim.Time(i+1))
+	}
+	// Syncing twice must not double-count: the counters mirror totals.
+	c.SyncTracerMetrics()
+	c.SyncTracerMetrics()
+	if got := c.Reg.Counter("obs.trace.spans").Value(); got != 2 {
+		t.Fatalf("obs.trace.spans = %d, want 2", got)
+	}
+	if got := c.Reg.Counter("obs.trace.dropped_spans").Value(); got != 3 {
+		t.Fatalf("obs.trace.dropped_spans = %d, want 3", got)
+	}
+	// Nil parts tolerated.
+	(&Collector{Reg: NewRegistry()}).SyncTracerMetrics()
+	(&Collector{Tr: NewTracer()}).SyncTracerMetrics()
+}

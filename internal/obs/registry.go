@@ -32,6 +32,11 @@ func (c *Counter) Inc() { c.v.Add(1) }
 // Value reads the current total.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
+// set overwrites the total. Unexported: counters are additive to callers;
+// only the export path may mirror an externally-owned total (the tracer's
+// span counts) without double-counting across repeated exports.
+func (c *Counter) set(v int64) { c.v.Store(v) }
+
 // Gauge is a named float64 whose last written value wins.
 type Gauge struct {
 	name string

@@ -1,0 +1,107 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"oocnvm/internal/obs"
+	"oocnvm/internal/obs/timeseries"
+	"oocnvm/internal/sim"
+)
+
+func sampleRun(t *testing.T) (obs.Snapshot, timeseries.Dump) {
+	t.Helper()
+	c := obs.NewCollector()
+	c.Observe("ssd.op", 2*sim.Microsecond)
+	c.Observe("ssd.op", 5*sim.Microsecond)
+	c.Count("ssd.ops", 2)
+	c.SetGauge("nvm.bandwidth_bps", 1.5e9)
+
+	s := timeseries.NewSampler(sim.Microsecond, 16)
+	busy, ops := 0.0, 0.0
+	s.AddFraction("nvm.channel_util", 2, func(sim.Time) float64 { return busy })
+	s.AddDelta("ssd.ops", func(sim.Time) float64 { return ops })
+	for i := 1; i <= 6; i++ {
+		busy = float64(i) * 0.4 * float64(sim.Microsecond)
+		ops = float64(i * 3)
+		s.Advance(sim.Time(i) * sim.Microsecond)
+	}
+	return c.Reg.Snapshot(), s.Dump()
+}
+
+func TestWriteHTMLSelfContainedAndComplete(t *testing.T) {
+	snap, dump := sampleRun(t)
+	info := RunInfo{
+		Title:        "replay test.bin · CNL-EXT4 · TLC",
+		Params:       [][2]string{{"config", "CNL-EXT4"}, {"cell", "TLC"}},
+		FaultSummary: "grown bad blocks: 0 <spares>",
+	}
+	var buf bytes.Buffer
+	if err := WriteHTML(&buf, info, snap, dump); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<!doctype html>",
+		"replay test.bin",
+		"nvm.channel_util",
+		"ssd.ops",
+		"<polyline",
+		"<svg",
+		"Per-stage latency",
+		"Run configuration",
+		"Fault summary",
+		"prefers-color-scheme: dark",
+		"--series-1",
+		"&lt;spares&gt;", // HTML in inputs is escaped
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Self-contained: no external fetches or scripts.
+	for _, banned := range []string{"<script", "http://", "https://", "<link", "<img"} {
+		if strings.Contains(out, banned) {
+			t.Errorf("report contains %q; must be self-contained and static", banned)
+		}
+	}
+}
+
+func TestWriteHTMLDeterministic(t *testing.T) {
+	render := func() string {
+		snap, dump := sampleRun(t)
+		var buf bytes.Buffer
+		if err := WriteHTML(&buf, RunInfo{Title: "t"}, snap, dump); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if render() != render() {
+		t.Fatal("report bytes differ across identical runs")
+	}
+}
+
+func TestWriteHTMLEmptyRun(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteHTML(&buf, RunInfo{Title: "empty"}, obs.Snapshot{}, timeseries.Dump{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty") {
+		t.Fatal("empty report lost its title")
+	}
+}
+
+func TestSingleSampleRendersMarker(t *testing.T) {
+	s := timeseries.NewSampler(10, 8)
+	s.AddGauge("g", func(sim.Time) float64 { return 2 })
+	s.Advance(10)
+	var buf bytes.Buffer
+	if err := WriteHTML(&buf, RunInfo{Title: "t"}, obs.Snapshot{}, s.Dump()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<circle") {
+		t.Fatal("single-sample series should render a visible marker")
+	}
+}

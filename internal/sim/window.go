@@ -40,6 +40,23 @@ func (w *Window) MaxBytes() int64 { return w.maxBytes }
 // (Operations are retired lazily, as Admit waits for room.)
 func (w *Window) InFlight() int { return len(w.heap) }
 
+// InFlightAt reports how many tracked operations are still executing at
+// instant t — admitted with a completion time strictly after t. Because
+// retirement is lazy, the heap can hold operations that finished before t;
+// those are excluded, so telemetry sampling at a past boundary sees the queue
+// depth that actually held then. Operations already retired by an Admit are
+// gone and cannot be reconstructed; sampling therefore reads a lower bound,
+// exact whenever it runs before the admissions that retire them.
+func (w *Window) InFlightAt(t Time) int {
+	n := 0
+	for _, op := range w.heap {
+		if op.end > t {
+			n++
+		}
+	}
+	return n
+}
+
 // Admit returns the earliest time an operation of `size` bytes arriving at
 // 'at' may issue. Call Complete exactly once per Admit. An operation larger
 // than MaxBytes issues alone (when the window is otherwise empty).

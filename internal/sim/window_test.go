@@ -165,3 +165,30 @@ func TestWindowByteInvariantProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestWindowInFlightAt(t *testing.T) {
+	w := NewWindow(8, 0)
+	// Three ops issued at 0 completing at 10, 20, 30.
+	for _, end := range []Time{10, 20, 30} {
+		w.Admit(0, 1)
+		w.Complete(end, 1)
+	}
+	for _, tc := range []struct {
+		at   Time
+		want int
+	}{{0, 3}, {9, 3}, {10, 2}, {19, 2}, {25, 1}, {30, 0}, {100, 0}} {
+		if got := w.InFlightAt(tc.at); got != tc.want {
+			t.Errorf("InFlightAt(%d) = %d, want %d", tc.at, got, tc.want)
+		}
+	}
+	// Lazy retirement: a deep Admit keeps finished ops in the heap; they
+	// still must not count at instants past their completion.
+	w2 := NewWindow(2, 0)
+	w2.Admit(0, 1)
+	w2.Complete(5, 1)
+	w2.Admit(0, 1)
+	w2.Complete(6, 1)
+	if got := w2.InFlightAt(7); got != 0 {
+		t.Errorf("InFlightAt(7) = %d with lazily-retained ops, want 0", got)
+	}
+}

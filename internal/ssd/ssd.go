@@ -15,6 +15,7 @@ import (
 	"oocnvm/internal/fault"
 	"oocnvm/internal/nvm"
 	"oocnvm/internal/obs"
+	"oocnvm/internal/obs/timeseries"
 	"oocnvm/internal/sim"
 	"oocnvm/internal/trace"
 )
@@ -227,6 +228,11 @@ type Config struct {
 	// Nil (or a disabled injector) leaves the legacy fault-free path exactly
 	// as it was, including its RNG draw sequence.
 	Fault *fault.Injector
+	// Sampler, when non-nil, records time-resolved telemetry: the drive
+	// advances it as the simulated clock moves and registers the whole
+	// stack's series on it (device utilization, queue depth, FTL GC, link
+	// occupancy, fault deltas). Nil means sampling off, with zero overhead.
+	Sampler *timeseries.Sampler
 }
 
 // DefaultQueueDepth is the native command queue depth used throughout the
@@ -245,8 +251,10 @@ type SSD struct {
 	hostOverhead sim.Time
 	clock        sim.Time
 	dataBytes    int64
+	opsCount     int64
 	capacity     int64
 	probe        obs.Probe
+	sampler      *timeseries.Sampler
 	faults       *fault.Injector
 	err          error
 }
@@ -296,7 +304,37 @@ func New(cfg Config) (*SSD, error) {
 	if cfg.Probe != nil {
 		s.SetProbe(cfg.Probe)
 	}
+	if cfg.Sampler != nil {
+		s.SetSampler(cfg.Sampler)
+	}
 	return s, nil
+}
+
+// SetSampler attaches a time-series sampler and registers the whole stack's
+// series on it: the device's utilization fractions and link occupancy, the
+// drive's queue depth / throughput / op rate, the translator's series (FTL
+// GC activity, write amplification) and the fault injector's event deltas.
+// The drive owns the simulated clock, so it is the one component that
+// advances the sampler. A nil sampler disables sampling.
+func (s *SSD) SetSampler(ts *timeseries.Sampler) {
+	s.sampler = ts
+	if ts == nil {
+		return
+	}
+	s.Dev.RegisterSeries(ts)
+	ts.AddGauge("ssd.queue_depth", func(at sim.Time) float64 {
+		return float64(s.win.InFlightAt(at))
+	})
+	ts.AddRate("ssd.throughput_bps", func(sim.Time) float64 {
+		return float64(s.dataBytes)
+	})
+	ts.AddDelta("ssd.ops", func(sim.Time) float64 {
+		return float64(s.opsCount)
+	})
+	timeseries.Instrument(s.trans, ts)
+	if s.faults != nil {
+		s.faults.RegisterSeries(ts)
+	}
 }
 
 // Err returns the first error any Submit call surfaced during the drive's
@@ -365,6 +403,12 @@ func (r Result) String() string {
 // fault.ErrReadOnly; reads whose bit errors exceed the ECC retry ladder
 // complete (the time is still modeled) but return fault.ErrUncorrectable.
 func (s *SSD) Submit(op trace.BlockOp) (sim.Time, error) {
+	if s.sampler != nil {
+		// Sample boundaries up to the current clock before this request
+		// books more work, so gauges (queue depth) reflect the state that
+		// held at each boundary.
+		s.sampler.Advance(s.clock)
+	}
 	arrive := s.clock
 	if op.Sync {
 		s.clock = sim.MaxTime(s.clock, s.win.Drain())
@@ -411,6 +455,7 @@ func (s *SSD) Submit(op trace.BlockOp) (sim.Time, error) {
 	if !op.Meta {
 		s.dataBytes += op.Size
 	}
+	s.opsCount++
 	s.probe.Count("ssd.ops", 1)
 	s.probe.Count("ssd.bytes", op.Size)
 	if !op.Meta {
@@ -493,6 +538,10 @@ func (s *SSD) Replay(ops []trace.BlockOp) Result {
 // Finish drains outstanding requests and snapshots the results so far.
 func (s *SSD) Finish() Result {
 	s.clock = sim.MaxTime(s.clock, s.win.Drain())
+	if s.sampler != nil {
+		// Flush the trailing boundaries so the series cover the whole run.
+		s.sampler.Advance(s.clock)
+	}
 	st := s.Dev.Stats()
 	r := Result{
 		Elapsed:   st.Span,

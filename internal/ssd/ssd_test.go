@@ -10,6 +10,7 @@ import (
 	"oocnvm/internal/interconnect"
 	"oocnvm/internal/nvm"
 	"oocnvm/internal/obs"
+	"oocnvm/internal/obs/timeseries"
 	"oocnvm/internal/sim"
 	"oocnvm/internal/trace"
 )
@@ -576,5 +577,76 @@ func TestZeroValueDirectCannotRetire(t *testing.T) {
 	d := Direct{Geo: nvm.PaperGeometry(), Cell: nvm.Params(nvm.SLC)}
 	if r := d.RetireBlock(0); r.OK || r.Retired {
 		t.Fatalf("zero-value Direct retired a block: %+v", r)
+	}
+}
+
+func TestSamplerRecordsStackSeries(t *testing.T) {
+	geo := nvm.PaperGeometry()
+	cp := nvm.Params(nvm.TLC)
+	f, err := ftl.New(geo, cp, ftl.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(nvm.TLC)
+	cfg.Link = interconnect.NewPCIeLine(interconnect.PCIeConfig{Gen: interconnect.PCIeGen3, Lanes: 4})
+	cfg.Translator = f
+	cfg.Sampler = timeseries.NewSampler(10*sim.Microsecond, 64)
+	s := newSSD(t, cfg)
+
+	var ops []trace.BlockOp
+	for i := int64(0); i < 64; i++ {
+		ops = append(ops, trace.BlockOp{Kind: trace.Write, Offset: i * (256 << 10), Size: 256 << 10})
+		ops = append(ops, trace.BlockOp{Kind: trace.Read, Offset: i * (256 << 10), Size: 256 << 10})
+	}
+	s.Replay(ops)
+
+	if cfg.Sampler.Len() == 0 {
+		t.Fatal("sampler took no samples over a multi-op replay")
+	}
+	got := make(map[string]bool)
+	for _, n := range cfg.Sampler.SeriesNames() {
+		got[n] = true
+	}
+	for _, want := range []string{
+		"nvm.channel_util", "nvm.die_util", "interconnect.link_occupancy",
+		"ssd.queue_depth", "ssd.throughput_bps", "ssd.ops",
+		"ftl.gc_runs", "ftl.write_amplification",
+	} {
+		if !got[want] {
+			t.Errorf("missing series %q (have %v)", want, cfg.Sampler.SeriesNames())
+		}
+	}
+	// The device did real work, so utilization and op series cannot be flat
+	// zero everywhere.
+	for _, sr := range cfg.Sampler.Dump().Series {
+		if sr.Name != "ssd.ops" {
+			continue
+		}
+		sum := 0.0
+		for _, p := range sr.Points {
+			sum += p.Value
+		}
+		if sum != float64(len(ops)) {
+			t.Errorf("ssd.ops series sums to %v, want %d", sum, len(ops))
+		}
+	}
+}
+
+func TestSamplerOffLeavesResultsIdentical(t *testing.T) {
+	run := func(sample bool) Result {
+		cfg := testConfig(nvm.TLC)
+		if sample {
+			cfg.Sampler = timeseries.NewSampler(sim.Microsecond, 32)
+		}
+		s := newSSD(t, cfg)
+		var ops []trace.BlockOp
+		for i := int64(0); i < 32; i++ {
+			ops = append(ops, trace.BlockOp{Kind: trace.Read, Offset: i * (1 << 20), Size: 1 << 20})
+		}
+		return s.Replay(ops)
+	}
+	off, on := run(false), run(true)
+	if off.Elapsed != on.Elapsed || off.Bandwidth != on.Bandwidth {
+		t.Fatalf("sampling changed the simulation: off=%+v on=%+v", off, on)
 	}
 }
