@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check fmt fuzz cover
+.PHONY: all build vet test race check fmt fuzz cover bench simcheck
 FUZZTIME ?= 10s
 
 all: check
@@ -20,11 +20,24 @@ race:
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-# Short bounded fuzz pass over the FTL mapping and ECC classification
-# harnesses; FUZZTIME=1m make fuzz for a longer soak.
+# Short bounded fuzz pass over the FTL mapping, ECC classification and
+# workload-codec harnesses; FUZZTIME=1m make fuzz for a longer soak.
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzFTLMapping -fuzztime=$(FUZZTIME) ./internal/ftl
 	$(GO) test -run=^$$ -fuzz=FuzzReadClassify -fuzztime=$(FUZZTIME) ./internal/fault
+	$(GO) test -run=^$$ -fuzz=FuzzWorkloadRoundTrip -fuzztime=$(FUZZTIME) ./internal/check
+
+# One pass over every figure/table benchmark, archived as JSON for diffing
+# between commits. -benchtime=1x because each whole-figure benchmark already
+# runs the full evaluation matrix once.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=1x . | $(GO) run ./cmd/benchjson > BENCH_results.json
+	@echo "wrote BENCH_results.json"
+
+# Cross-layer conformance sweep: integrity oracle + analytical envelopes +
+# metamorphic relations over the acceptance configurations.
+simcheck:
+	$(GO) run ./cmd/simcheck -episodes 25 -configs CNL-UFS,CNL-EXT4,ION-GPFS -cells MLC,TLC
 
 cover:
 	$(GO) test -cover ./... | tee coverage.txt

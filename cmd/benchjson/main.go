@@ -1,0 +1,94 @@
+// Command benchjson converts the text output of `go test -bench -benchmem`
+// into a JSON array so benchmark results can be archived and diffed between
+// runs (see the `make bench` target, which writes BENCH_results.json).
+//
+// Benchmarks appear in input order. Only the standard ns/op, B/op and
+// allocs/op columns are recorded; custom b.ReportMetric units (the MB/s
+// figures the paper benchmarks report) land in the metrics map keyed by
+// their unit string.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// parse reads `go test -bench` text and returns one result per benchmark
+// line, in input order. Non-benchmark lines (PASS, ok, goos headers) are
+// skipped; a malformed benchmark line is an error rather than silent loss.
+func parse(r io.Reader) ([]result, error) {
+	var out []result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("malformed benchmark line: %q", line)
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchmark %s: bad iteration count %q", fields[0], fields[1])
+		}
+		res := result{Name: fields[0], Iterations: iters}
+		// The remainder is value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark %s: bad value %q", fields[0], fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			default:
+				if res.Metrics == nil {
+					res.Metrics = make(map[string]float64)
+				}
+				res.Metrics[unit] = v
+			}
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+func run(in io.Reader, out io.Writer) error {
+	results, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if results == nil {
+		results = []result{}
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: oocnvm
+BenchmarkTable1CellLatencies/SLC-8         	 1000000	      25.5 ns/op	     128 B/op	       3 allocs/op
+BenchmarkFig7aBandwidth-8                  	       1	1234567 ns/op	  3060.0 MB/s/CNL-UFS_SLC	 2048 B/op	      12 allocs/op
+PASS
+ok  	oocnvm	1.234s
+`
+
+func TestBenchjsonParse(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sample), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var results []result
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	r := results[0]
+	if r.Name != "BenchmarkTable1CellLatencies/SLC-8" || r.Iterations != 1000000 ||
+		r.NsPerOp != 25.5 || r.BytesPerOp != 128 || r.AllocsPerOp != 3 {
+		t.Errorf("first result wrong: %+v", r)
+	}
+	if got := results[1].Metrics["MB/s/CNL-UFS_SLC"]; got != 3060 {
+		t.Errorf("custom metric = %v, want 3060", got)
+	}
+}
+
+func TestBenchjsonEmptyInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader("PASS\nok x 0.1s\n"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Errorf("want empty array, got %q", out.String())
+	}
+}
+
+func TestBenchjsonRejectsMalformed(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader("BenchmarkX notanumber ns/op\n"), &out); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+}

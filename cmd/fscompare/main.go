@@ -7,6 +7,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"oocnvm/internal/experiment"
@@ -23,25 +24,32 @@ func main() {
 	)
 	flag.Parse()
 
-	opt := experiment.DefaultOptions()
-	opt.Workload = ooc.Workload{
-		MatrixBytes:  int64(*matrix) << 20,
-		PanelBytes:   int64(*panel) << 20,
-		Applications: *apps,
-	}
-	opt.Seed = *seed
-
-	configs := experiment.FileSystemConfigs()
-	ms, err := experiment.Matrix(configs, nvm.CellTypes, opt)
-	if err != nil {
+	if err := run(*matrix, *panel, *apps, *seed, nvm.CellTypes, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "fscompare:", err)
 		os.Exit(1)
 	}
-	fmt.Print(experiment.FormatBandwidthTable("File-system comparison", ms, configs, nvm.CellTypes))
-	fmt.Println()
-	fmt.Print(experiment.FormatRemainingTable("Media capability left over", ms, configs, nvm.CellTypes))
-	fmt.Println()
-	fmt.Print(experiment.FormatChannelUtilTable(ms, configs, nvm.CellTypes))
-	fmt.Println()
-	fmt.Print(experiment.FormatPackageUtilTable(ms, configs, nvm.CellTypes))
+}
+
+func run(matrix, panel, apps int, seed uint64, cells []nvm.CellType, out io.Writer) error {
+	opt := experiment.DefaultOptions()
+	opt.Workload = ooc.Workload{
+		MatrixBytes:  int64(matrix) << 20,
+		PanelBytes:   int64(panel) << 20,
+		Applications: apps,
+	}
+	opt.Seed = seed
+
+	configs := experiment.FileSystemConfigs()
+	ms, err := experiment.Matrix(configs, cells, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, experiment.FormatBandwidthTable("File-system comparison", ms, configs, cells))
+	fmt.Fprintln(out)
+	fmt.Fprint(out, experiment.FormatRemainingTable("Media capability left over", ms, configs, cells))
+	fmt.Fprintln(out)
+	fmt.Fprint(out, experiment.FormatChannelUtilTable(ms, configs, cells))
+	fmt.Fprintln(out)
+	fmt.Fprint(out, experiment.FormatPackageUtilTable(ms, configs, cells))
+	return nil
 }

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"oocnvm/internal/nvm"
+)
+
+func TestFscompareSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(16, 4, 1, 42, []nvm.CellType{nvm.SLC}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{
+		"File-system comparison",
+		"Media capability left over",
+		"ION-GPFS",
+		"CNL-UFS",
+		"SLC",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestFscompareDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(16, 4, 1, 7, []nvm.CellType{nvm.PCM}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(16, 4, 1, 7, []nvm.CellType{nvm.PCM}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different tables")
+	}
+}

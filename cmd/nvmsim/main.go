@@ -7,6 +7,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"oocnvm/internal/interconnect"
@@ -36,13 +37,13 @@ func main() {
 	)
 	exp.Register(flag.CommandLine)
 	flag.Parse()
-	if err := run(*cellName, *busName, *gen, *lanes, *bridged, *pattern, *kind, *reqKiB, *count, *window, *qd, *seed, exp); err != nil {
+	if err := run(*cellName, *busName, *gen, *lanes, *bridged, *pattern, *kind, *reqKiB, *count, *window, *qd, *seed, exp, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "nvmsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cellName, busName string, gen, lanes int, bridged bool, pattern, kind string, reqKiB int64, count int, windowKiB int64, qd int, seed uint64, exp export.Flags) error {
+func run(cellName, busName string, gen, lanes int, bridged bool, pattern, kind string, reqKiB int64, count int, windowKiB int64, qd int, seed uint64, exp export.Flags, out io.Writer) error {
 	var cell nvm.CellType
 	switch cellName {
 	case "SLC":
@@ -114,19 +115,19 @@ func run(cellName, busName string, gen, lanes int, bridged bool, pattern, kind s
 	}
 	res := drive.Replay(ops)
 
-	fmt.Printf("device: %s, %s, %s, %d ch x %d pkg x %d dies, %d planes/die\n",
+	fmt.Fprintf(out, "device: %s, %s, %s, %d ch x %d pkg x %d dies, %d planes/die\n",
 		cell, bus.Name, pcie, geo.Channels, geo.Packages(), geo.Dies(), cp.Planes)
-	fmt.Printf("workload: %d x %d KiB %s %s\n", count, reqKiB, pattern, kind)
-	fmt.Printf("elapsed:   %v\n", res.Elapsed)
-	fmt.Printf("bandwidth: %.1f MB/s\n", res.MBps())
-	fmt.Printf("channel utilization: %.1f%%   package utilization: %.1f%%   bus occupancy: %.1f%%\n",
+	fmt.Fprintf(out, "workload: %d x %d KiB %s %s\n", count, reqKiB, pattern, kind)
+	fmt.Fprintf(out, "elapsed:   %v\n", res.Elapsed)
+	fmt.Fprintf(out, "bandwidth: %.1f MB/s\n", res.MBps())
+	fmt.Fprintf(out, "channel utilization: %.1f%%   package utilization: %.1f%%   bus occupancy: %.1f%%\n",
 		100*res.Stats.ChannelUtilization, 100*res.Stats.PackageUtilization, 100*res.Stats.BusOccupancy)
 	p := res.Stats.Breakdown.Percentages()
 	for i, label := range nvm.BreakdownLabels {
-		fmt.Printf("  %-22s %5.1f%%\n", label, 100*p[i])
+		fmt.Fprintf(out, "  %-22s %5.1f%%\n", label, 100*p[i])
 	}
 	fr := res.Stats.PAL.Fractions()
-	fmt.Printf("parallelism: PAL1 %.1f%%  PAL2 %.1f%%  PAL3 %.1f%%  PAL4 %.1f%%\n",
+	fmt.Fprintf(out, "parallelism: PAL1 %.1f%%  PAL2 %.1f%%  PAL3 %.1f%%  PAL4 %.1f%%\n",
 		100*fr[0], 100*fr[1], 100*fr[2], 100*fr[3])
 
 	if col != nil {
@@ -147,7 +148,7 @@ func run(cellName, busName string, gen, lanes int, bridged bool, pattern, kind s
 				{"seed", fmt.Sprint(seed)},
 			},
 		}
-		if err := exp.Write(os.Stdout, col, samp, info); err != nil {
+		if err := exp.Write(out, col, samp, info); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"oocnvm/internal/obs/export"
+)
+
+func TestNvmsimSmoke(t *testing.T) {
+	var out bytes.Buffer
+	err := run("MLC", "sdr", 2, 8, true, "seq", "read", 256, 4, 0, 32, 1, export.Flags{}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{
+		"device: MLC",
+		"workload: 4 x 256 KiB seq read",
+		"bandwidth:",
+		"parallelism: PAL1",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestNvmsimWritePattern(t *testing.T) {
+	var out bytes.Buffer
+	if err := run("PCM", "ddr", 3, 16, false, "rand", "write", 64, 4, 0, 8, 7, export.Flags{}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "workload: 4 x 64 KiB rand write") {
+		t.Errorf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestNvmsimRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run("QLC", "sdr", 2, 8, true, "seq", "read", 64, 1, 0, 8, 1, export.Flags{}, &out); err == nil {
+		t.Fatal("unknown cell accepted")
+	}
+	if err := run("SLC", "qdr", 2, 8, true, "seq", "read", 64, 1, 0, 8, 1, export.Flags{}, &out); err == nil {
+		t.Fatal("unknown bus accepted")
+	}
+}

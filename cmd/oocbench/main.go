@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"oocnvm/internal/cache"
@@ -70,7 +71,7 @@ func main() {
 	opt.Obs = exp.Collector()
 	samp := exp.Sampler()
 
-	if err := run(opt, *fig, *table, *summary, *topology, *distrib, *energy, *cacheF, *chart, samp); err != nil {
+	if err := run(opt, *fig, *table, *summary, *topology, *distrib, *energy, *cacheF, *chart, samp, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "oocbench:", err)
 		os.Exit(1)
 	}
@@ -110,34 +111,34 @@ func main() {
 	}
 }
 
-func run(opt experiment.Options, fig, table string, summary, topology, distrib, energyFlag, cacheFlag, chart bool, samp *timeseries.Sampler) error {
+func run(opt experiment.Options, fig, table string, summary, topology, distrib, energyFlag, cacheFlag, chart bool, samp *timeseries.Sampler, out io.Writer) error {
 	cells := nvm.CellTypes
 
 	switch {
 	case table == "1":
-		fmt.Print(experiment.FormatTable1())
+		fmt.Fprint(out, experiment.FormatTable1())
 		return nil
 	case table == "2":
-		fmt.Print(experiment.FormatTable2())
+		fmt.Fprint(out, experiment.FormatTable2())
 		return nil
 	case fig == "1":
-		fmt.Print(experiment.FormatFig1())
+		fmt.Fprint(out, experiment.FormatFig1())
 		return nil
 	case fig == "6":
 		s, err := experiment.FormatFig6(opt, 64)
 		if err != nil {
 			return err
 		}
-		fmt.Print(s)
+		fmt.Fprint(out, s)
 		return nil
 	case topology:
-		return printTopology(opt)
+		return printTopology(opt, out)
 	case distrib:
-		return printDistributed()
+		return printDistributed(out)
 	case energyFlag:
-		return printEnergy()
+		return printEnergy(out)
 	case cacheFlag:
-		return printCacheStudy(opt, samp)
+		return printCacheStudy(opt, samp, out)
 	}
 
 	// Everything else needs the measurement matrix.
@@ -158,122 +159,122 @@ func run(opt experiment.Options, fig, table string, summary, topology, distrib, 
 	switch fig {
 	case "7a":
 		if chart {
-			fmt.Print(experiment.BandwidthChart("Figure 7a", ms, configs, nvm.SLC))
-			fmt.Println()
-			fmt.Print(experiment.BandwidthChart("Figure 7a", ms, configs, nvm.TLC))
+			fmt.Fprint(out, experiment.BandwidthChart("Figure 7a", ms, configs, nvm.SLC))
+			fmt.Fprintln(out)
+			fmt.Fprint(out, experiment.BandwidthChart("Figure 7a", ms, configs, nvm.TLC))
 			break
 		}
-		fmt.Print(experiment.FormatBandwidthTable("Figure 7a", ms, configs, cells))
+		fmt.Fprint(out, experiment.FormatBandwidthTable("Figure 7a", ms, configs, cells))
 	case "7b":
-		fmt.Print(experiment.FormatRemainingTable("Figure 7b", ms, configs, cells))
+		fmt.Fprint(out, experiment.FormatRemainingTable("Figure 7b", ms, configs, cells))
 	case "8a":
 		if chart {
-			fmt.Print(experiment.BandwidthChart("Figure 8a", ms, configs, nvm.PCM))
+			fmt.Fprint(out, experiment.BandwidthChart("Figure 8a", ms, configs, nvm.PCM))
 			break
 		}
-		fmt.Print(experiment.FormatBandwidthTable("Figure 8a", ms, configs, cells))
+		fmt.Fprint(out, experiment.FormatBandwidthTable("Figure 8a", ms, configs, cells))
 	case "8b":
-		fmt.Print(experiment.FormatRemainingTable("Figure 8b", ms, configs, cells))
+		fmt.Fprint(out, experiment.FormatRemainingTable("Figure 8b", ms, configs, cells))
 	case "9a":
-		fmt.Print(experiment.FormatChannelUtilTable(ms, configs, cells))
+		fmt.Fprint(out, experiment.FormatChannelUtilTable(ms, configs, cells))
 	case "9b":
-		fmt.Print(experiment.FormatPackageUtilTable(ms, configs, cells))
+		fmt.Fprint(out, experiment.FormatPackageUtilTable(ms, configs, cells))
 	case "10a":
-		fmt.Print(experiment.FormatBreakdownTable(nvm.TLC, ms, configs))
+		fmt.Fprint(out, experiment.FormatBreakdownTable(nvm.TLC, ms, configs))
 	case "10b":
-		fmt.Print(experiment.FormatPALTable(nvm.TLC, ms, configs))
+		fmt.Fprint(out, experiment.FormatPALTable(nvm.TLC, ms, configs))
 	case "10c":
-		fmt.Print(experiment.FormatBreakdownTable(nvm.PCM, ms, configs))
+		fmt.Fprint(out, experiment.FormatBreakdownTable(nvm.PCM, ms, configs))
 	case "10d":
-		fmt.Print(experiment.FormatPALTable(nvm.PCM, ms, configs))
+		fmt.Fprint(out, experiment.FormatPALTable(nvm.PCM, ms, configs))
 	case "":
 		if summary {
 			s, err := experiment.Summarize(ms, cells)
 			if err != nil {
 				return err
 			}
-			fmt.Print(s.Format(cells))
+			fmt.Fprint(out, s.Format(cells))
 			return nil
 		}
 		// Full report in paper order.
-		fmt.Print(experiment.FormatFig1())
-		fmt.Println()
-		fmt.Print(experiment.FormatTable1())
-		fmt.Println()
-		fmt.Print(experiment.FormatTable2())
-		fmt.Println()
+		fmt.Fprint(out, experiment.FormatFig1())
+		fmt.Fprintln(out)
+		fmt.Fprint(out, experiment.FormatTable1())
+		fmt.Fprintln(out)
+		fmt.Fprint(out, experiment.FormatTable2())
+		fmt.Fprintln(out)
 		if s, err := experiment.FormatFig6(opt, 32); err == nil {
-			fmt.Print(s)
-			fmt.Println()
+			fmt.Fprint(out, s)
+			fmt.Fprintln(out)
 		}
 		fsCfg := experiment.FileSystemConfigs()
 		devCfg := experiment.DeviceConfigs()
-		fmt.Print(experiment.FormatBandwidthTable("Figure 7a", ms, fsCfg, cells))
-		fmt.Println()
-		fmt.Print(experiment.FormatRemainingTable("Figure 7b", ms, fsCfg, cells))
-		fmt.Println()
-		fmt.Print(experiment.FormatBandwidthTable("Figure 8a", ms, devCfg, cells))
-		fmt.Println()
-		fmt.Print(experiment.FormatRemainingTable("Figure 8b", ms, devCfg, cells))
-		fmt.Println()
-		fmt.Print(experiment.FormatChannelUtilTable(ms, configs, cells))
-		fmt.Println()
-		fmt.Print(experiment.FormatPackageUtilTable(ms, configs, cells))
-		fmt.Println()
-		fmt.Print(experiment.FormatBreakdownTable(nvm.TLC, ms, configs))
-		fmt.Println()
-		fmt.Print(experiment.FormatPALTable(nvm.TLC, ms, configs))
-		fmt.Println()
-		fmt.Print(experiment.FormatBreakdownTable(nvm.PCM, ms, configs))
-		fmt.Println()
-		fmt.Print(experiment.FormatPALTable(nvm.PCM, ms, configs))
-		fmt.Println()
+		fmt.Fprint(out, experiment.FormatBandwidthTable("Figure 7a", ms, fsCfg, cells))
+		fmt.Fprintln(out)
+		fmt.Fprint(out, experiment.FormatRemainingTable("Figure 7b", ms, fsCfg, cells))
+		fmt.Fprintln(out)
+		fmt.Fprint(out, experiment.FormatBandwidthTable("Figure 8a", ms, devCfg, cells))
+		fmt.Fprintln(out)
+		fmt.Fprint(out, experiment.FormatRemainingTable("Figure 8b", ms, devCfg, cells))
+		fmt.Fprintln(out)
+		fmt.Fprint(out, experiment.FormatChannelUtilTable(ms, configs, cells))
+		fmt.Fprintln(out)
+		fmt.Fprint(out, experiment.FormatPackageUtilTable(ms, configs, cells))
+		fmt.Fprintln(out)
+		fmt.Fprint(out, experiment.FormatBreakdownTable(nvm.TLC, ms, configs))
+		fmt.Fprintln(out)
+		fmt.Fprint(out, experiment.FormatPALTable(nvm.TLC, ms, configs))
+		fmt.Fprintln(out)
+		fmt.Fprint(out, experiment.FormatBreakdownTable(nvm.PCM, ms, configs))
+		fmt.Fprintln(out)
+		fmt.Fprint(out, experiment.FormatPALTable(nvm.PCM, ms, configs))
+		fmt.Fprintln(out)
 		s, err := experiment.Summarize(ms, cells)
 		if err != nil {
 			return err
 		}
-		fmt.Print(s.Format(cells))
+		fmt.Fprint(out, s.Format(cells))
 	default:
 		return fmt.Errorf("unknown figure %q", fig)
 	}
 	return nil
 }
 
-func printDistributed() error {
+func printDistributed(out io.Writer) error {
 	job := cluster.DefaultDistributedJob()
 	ion, cnl, err := cluster.SimulateDistributed(cluster.Carver(), job)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("cluster-scale OoC solve: %d nodes, %d GiB Hamiltonian, %d applications\n",
+	fmt.Fprintf(out, "cluster-scale OoC solve: %d nodes, %d GiB Hamiltonian, %d applications\n",
 		job.Nodes, job.MatrixBytes>>30, job.Applications)
 	for _, r := range []cluster.DistributedResult{ion, cnl} {
-		fmt.Printf("  %-10s per-application: I/O %v + comm %v = %v  (node read %.2f GB/s)\n",
+		fmt.Fprintf(out, "  %-10s per-application: I/O %v + comm %v = %v  (node read %.2f GB/s)\n",
 			r.Placement, r.IOTime, r.CommTime, r.PerApp, r.NodeReadBW/1e9)
 	}
-	fmt.Printf("  migrating the SSDs to the compute nodes: %.1fx faster end to end\n",
+	fmt.Fprintf(out, "  migrating the SSDs to the compute nodes: %.1fx faster end to end\n",
 		cluster.Speedup(ion, cnl))
 	return nil
 }
 
-func printEnergy() error {
+func printEnergy(out io.Writer) error {
 	// A 256 GiB per-node dataset share over a one-hour solve at 70% activity.
 	c, err := energy.Compare(256<<30, 4<<30, 3600*sim.Second, 0.7)
 	if err != nil {
 		return err
 	}
-	fmt.Println("provisioning a 256 GiB per-node out-of-core dataset (per node):")
+	fmt.Fprintln(out, "provisioning a 256 GiB per-node out-of-core dataset (per node):")
 	for _, a := range []energy.Approach{c.InMemory, c.NVM} {
-		fmt.Printf("  %-20s DRAM %3d GiB, SSD %3d GiB, IB ports %d: $%.0f capital, %.0f kJ per hour-long solve\n",
+		fmt.Fprintf(out, "  %-20s DRAM %3d GiB, SSD %3d GiB, IB ports %d: $%.0f capital, %.0f kJ per hour-long solve\n",
 			a.Name, a.DRAMBytes>>30, a.SSDBytes>>30, a.NetworkPorts,
 			a.CapitalCost(), a.RunEnergy(3600*sim.Second, 0.7)/1000)
 	}
-	fmt.Printf("  distributed DRAM costs %.1fx the capital and %.1fx the energy of compute-local NVM\n",
+	fmt.Fprintf(out, "  distributed DRAM costs %.1fx the capital and %.1fx the energy of compute-local NVM\n",
 		c.CapitalRatio, c.EnergyRatio)
 	return nil
 }
 
-func printCacheStudy(opt experiment.Options, samp *timeseries.Sampler) error {
+func printCacheStudy(opt experiment.Options, samp *timeseries.Sampler, out io.Writer) error {
 	posix, err := opt.Workload.PosixTrace()
 	if err != nil {
 		return err
@@ -283,7 +284,7 @@ func printCacheStudy(opt experiment.Options, samp *timeseries.Sampler) error {
 		ops = append(ops, trace.BlockOp{Kind: p.Kind, Offset: p.Offset, Size: p.Size})
 	}
 	const fastBW, slowBW = 3.06e9, 1.05e9 // CNL-UFS vs ION-GPFS envelopes
-	fmt.Printf("host-side flash cache on the OoC trace (%d MiB working set, LRU, 64 KiB blocks):\n",
+	fmt.Fprintf(out, "host-side flash cache on the OoC trace (%d MiB working set, LRU, 64 KiB blocks):\n",
 		opt.Workload.MatrixBytes>>20)
 	for _, frac := range []int64{2, 1} {
 		capacity := opt.Workload.MatrixBytes / frac
@@ -297,17 +298,17 @@ func printCacheStudy(opt experiment.Options, samp *timeseries.Sampler) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  cache = dataset/%d: hit rate %5.1f%%, effective %7.0f MB/s, heat-up %v\n",
+		fmt.Fprintf(out, "  cache = dataset/%d: hit rate %5.1f%%, effective %7.0f MB/s, heat-up %v\n",
 			frac, 100*st.HitRate, st.EffectiveBW/1e6, st.HeatUp)
 	}
-	fmt.Printf("  application-managed UFS (no cache):              %7.0f MB/s, no heat-up\n", fastBW/1e6)
-	fmt.Println("  (the paper's §1 argument: scan-everything OoC traffic defeats LRU caching)")
+	fmt.Fprintf(out, "  application-managed UFS (no cache):              %7.0f MB/s, no heat-up\n", fastBW/1e6)
+	fmt.Fprintln(out, "  (the paper's §1 argument: scan-everything OoC traffic defeats LRU caching)")
 	return nil
 }
 
-func printTopology(opt experiment.Options) error {
+func printTopology(opt experiment.Options, out io.Writer) error {
 	for _, t := range []cluster.Topology{cluster.Carver(), cluster.ComputeLocal()} {
-		fmt.Printf("%s: %d CNs (%d cores), %d OoC CNs, %d IONs, %d SSDs, placement %s, network %s\n",
+		fmt.Fprintf(out, "%s: %d CNs (%d cores), %d OoC CNs, %d IONs, %d SSDs, placement %s, network %s\n",
 			t.Name, t.ComputeNodes, t.ComputeNodes*t.CoresPerCN, t.OoCComputeNodes,
 			t.IONs, t.SSDs(), t.Placement, t.Network.Name)
 	}
@@ -318,7 +319,7 @@ func printTopology(opt experiment.Options) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("preload of %d MiB dataset: %v (disk streaming %.0f MB/s, hidden behind prior job: %v)\n",
+	fmt.Fprintf(out, "preload of %d MiB dataset: %v (disk streaming %.0f MB/s, hidden behind prior job: %v)\n",
 		opt.Workload.MatrixBytes>>20, res.Duration, res.DiskBW/1e6, res.Hidden)
 	return nil
 }

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"oocnvm/internal/experiment"
+	"oocnvm/internal/ooc"
+)
+
+func testOptions() experiment.Options {
+	opt := experiment.DefaultOptions()
+	opt.Workload = ooc.Workload{
+		MatrixBytes:  16 << 20,
+		PanelBytes:   4 << 20,
+		Applications: 1,
+	}
+	opt.Seed = 42
+	return opt
+}
+
+func TestOocbenchStaticTables(t *testing.T) {
+	cases := []struct {
+		name, fig, table, want string
+	}{
+		{"table1", "", "1", "Table 1"},
+		{"table2", "", "2", "Table 2"},
+		{"fig1", "1", "", "Figure 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(testOptions(), tc.fig, tc.table, false, false, false, false, false, false, nil, &out); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !strings.Contains(out.String(), tc.want) {
+				t.Errorf("output missing %q:\n%s", tc.want, out.String())
+			}
+		})
+	}
+}
+
+func TestOocbenchTopology(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(testOptions(), "", "", false, true, false, false, false, false, nil, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"Carver", "Carver-CNL", "preload"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestOocbenchEnergyAndDistributed(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(testOptions(), "", "", false, false, true, false, false, false, nil, &out); err != nil {
+		t.Fatalf("distributed: %v", err)
+	}
+	if !strings.Contains(out.String(), "cluster-scale OoC solve") {
+		t.Errorf("distributed output unexpected:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run(testOptions(), "", "", false, false, false, true, false, false, nil, &out); err != nil {
+		t.Fatalf("energy: %v", err)
+	}
+	if !strings.Contains(out.String(), "compute-local NVM") {
+		t.Errorf("energy output unexpected:\n%s", out.String())
+	}
+}
+
+func TestOocbenchCacheStudy(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(testOptions(), "", "", false, false, false, false, true, false, nil, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "hit rate") {
+		t.Errorf("cache output unexpected:\n%s", out.String())
+	}
+}
+
+func TestOocbenchFigure7a(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement matrix in -short mode")
+	}
+	var out bytes.Buffer
+	if err := run(testOptions(), "7a", "", false, false, false, false, false, false, nil, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"Figure 7a", "ION-GPFS", "CNL-UFS"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -276,6 +276,7 @@ func TestReplayExportsGoldenDeterminism(t *testing.T) {
 			exp: export.Flags{
 				MetricsOut: filepath.Join(dir, "metrics.json"),
 				ReportOut:  filepath.Join(dir, "report.html"),
+				TraceOut:   filepath.Join(dir, "trace.json"),
 				SampleUS:   100,
 			},
 		}
@@ -284,6 +285,7 @@ func TestReplayExportsGoldenDeterminism(t *testing.T) {
 			filepath.Join(dir, "metrics.csv"),
 			opts.exp.ReportOut,
 			filepath.Join(dir, "report.csv"),
+			opts.exp.TraceOut,
 		}
 		return opts, paths
 	}

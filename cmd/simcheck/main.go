@@ -1,0 +1,209 @@
+// Command simcheck runs the cross-layer conformance suite: N seeded
+// property-based episodes per (configuration, cell) pair, each replayed
+// through a freshly built stack wrapped in the shadow data-integrity oracle
+// and checked against the analytical performance envelope, followed by
+// metamorphic invariant checks (seed determinism, lane/channel
+// monotonicity, ION→CNL placement). On violation it prints a report and —
+// for episode failures — a ddmin-minimized reproducer trace, then exits
+// non-zero.
+//
+//	simcheck -episodes 25 -configs CNL-UFS,CNL-EXT4,ION-GPFS -cells MLC,TLC
+//	simcheck -episodes 5 -configs CNL-UFS -cells MLC -fault worn
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"oocnvm/internal/check"
+	"oocnvm/internal/experiment"
+	"oocnvm/internal/fault"
+	"oocnvm/internal/nvm"
+)
+
+type options struct {
+	episodes    int
+	configs     string
+	cells       string
+	faultName   string
+	seed        uint64
+	ops         int
+	metamorphic bool
+	shrink      bool
+}
+
+func cellForName(name string) (nvm.CellType, error) {
+	switch strings.ToUpper(name) {
+	case "SLC":
+		return nvm.SLC, nil
+	case "MLC":
+		return nvm.MLC, nil
+	case "TLC":
+		return nvm.TLC, nil
+	case "PCM":
+		return nvm.PCM, nil
+	}
+	return 0, fmt.Errorf("simcheck: unknown cell type %q (have SLC, MLC, TLC, PCM)", name)
+}
+
+// failure pairs a violation with enough context to reproduce it.
+type failure struct {
+	where string
+	viol  check.Violation
+	sc    check.StackConfig
+	trace int // failing episode's request count, 0 for metamorphic checks
+}
+
+func run(opt options, out io.Writer) error {
+	var configs []experiment.Config
+	for _, name := range strings.Split(opt.configs, ",") {
+		cfg, err := experiment.FindConfig(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		configs = append(configs, cfg)
+	}
+	var cells []nvm.CellType
+	for _, name := range strings.Split(opt.cells, ",") {
+		c, err := cellForName(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		cells = append(cells, c)
+	}
+	prof, err := fault.ForName(opt.faultName)
+	if err != nil {
+		return err
+	}
+
+	var failures []failure
+	episodes, requests := 0, 0
+	fmt.Fprintf(out, "simcheck: %d episodes per pair, fault profile %q, base seed %d\n\n",
+		opt.episodes, opt.faultName, opt.seed)
+
+	for _, cfg := range configs {
+		for _, cell := range cells {
+			pair := fmt.Sprintf("%s/%v", cfg.Name, cell)
+			pairReq, pairViol := 0, 0
+			for i := 0; i < opt.episodes; i++ {
+				sc := check.StackConfig{Config: cfg, Cell: cell, Fault: prof,
+					Seed: opt.seed + uint64(i)}
+				p := check.DefaultParams(sc.Capacity(), nvm.Params(cell).PageSize)
+				if opt.ops > 0 {
+					p.Ops = opt.ops
+				}
+				res, err := check.RunEpisode(sc, p)
+				if err != nil {
+					return fmt.Errorf("%s seed=%d: %w", pair, sc.Seed, err)
+				}
+				episodes++
+				pairReq += len(res.Trace)
+				pairViol += len(res.Violations)
+				for _, v := range res.Violations {
+					failures = append(failures, failure{
+						where: fmt.Sprintf("%s seed=%d", pair, sc.Seed),
+						viol:  v, sc: sc, trace: len(res.Trace)})
+				}
+			}
+			requests += pairReq
+			fmt.Fprintf(out, "  %-16s %3d episodes  %7d requests  %d violations\n",
+				pair, opt.episodes, pairReq, pairViol)
+		}
+	}
+
+	metaChecks := 0
+	if opt.metamorphic {
+		fmt.Fprintf(out, "\nmetamorphic checks:\n")
+		for _, cfg := range configs {
+			for _, cell := range cells {
+				pair := fmt.Sprintf("%s/%v", cfg.Name, cell)
+				sc := check.StackConfig{Config: cfg, Cell: cell, Fault: prof, Seed: opt.seed}
+				p := check.DefaultParams(sc.Capacity(), nvm.Params(cell).PageSize)
+				if opt.ops > 0 {
+					p.Ops = opt.ops
+				}
+				pairViol := 0
+				for _, m := range []struct {
+					label string
+					fn    func(check.StackConfig, check.Params) ([]check.Violation, error)
+				}{
+					{"determinism", check.CheckDeterminism},
+					{"lane monotonicity", check.CheckLaneMonotonicity},
+					{"channel monotonicity", check.CheckChannelMonotonicity},
+					{"ION->CNL placement", check.CheckPlacementMonotonicity},
+				} {
+					viol, err := m.fn(sc, p)
+					if err != nil {
+						return fmt.Errorf("%s %s: %w", pair, m.label, err)
+					}
+					metaChecks++
+					pairViol += len(viol)
+					for _, v := range viol {
+						failures = append(failures, failure{
+							where: fmt.Sprintf("%s %s", pair, m.label), viol: v, sc: sc})
+					}
+				}
+				fmt.Fprintf(out, "  %-16s 4 relations  %d violations\n", pair, pairViol)
+			}
+		}
+	}
+
+	fmt.Fprintf(out, "\nsimcheck: %d episodes, %d requests, %d metamorphic checks, %d violations\n",
+		episodes, requests, metaChecks, len(failures))
+	if len(failures) == 0 {
+		return nil
+	}
+
+	fmt.Fprintf(out, "\nviolation report:\n")
+	for i, f := range failures {
+		if i >= 20 {
+			fmt.Fprintf(out, "  ... and %d more\n", len(failures)-20)
+			break
+		}
+		fmt.Fprintf(out, "  [%s] %v\n", f.where, f.viol)
+	}
+	// Minimize the first failing episode to the smallest reproducer.
+	if opt.shrink {
+		for _, f := range failures {
+			if f.trace == 0 {
+				continue
+			}
+			p := check.DefaultParams(f.sc.Capacity(), nvm.Params(f.sc.Cell).PageSize)
+			if opt.ops > 0 {
+				p.Ops = opt.ops
+			}
+			res, err := check.RunEpisode(f.sc, p)
+			if err != nil {
+				break
+			}
+			small := check.Shrink(res.Trace, check.FailsWith(f.sc))
+			fmt.Fprintf(out, "\nminimized reproducer for [%s] (%d -> %d requests):\n",
+				f.where, len(res.Trace), len(small))
+			for _, op := range small {
+				fmt.Fprintf(out, "  %v offset=%d size=%d sync=%v\n", op.Kind, op.Offset, op.Size, op.Sync)
+			}
+			break
+		}
+	}
+	return fmt.Errorf("simcheck: %d violations", len(failures))
+}
+
+func main() {
+	var opt options
+	flag.IntVar(&opt.episodes, "episodes", 10, "seeded episodes per (config, cell) pair")
+	flag.StringVar(&opt.configs, "configs", "CNL-UFS,CNL-EXT4,ION-GPFS", "comma-separated Table 2 configuration names")
+	flag.StringVar(&opt.cells, "cells", "MLC,TLC", "comma-separated cell types (SLC, MLC, TLC, PCM)")
+	flag.StringVar(&opt.faultName, "fault", "none", "fault profile: none, fresh, worn or eol")
+	flag.Uint64Var(&opt.seed, "seed", 1, "base RNG seed (episode i uses seed+i)")
+	flag.IntVar(&opt.ops, "ops", 0, "requests per episode (0 = sized to device capacity)")
+	flag.BoolVar(&opt.metamorphic, "metamorphic", true, "run metamorphic invariant checks")
+	flag.BoolVar(&opt.shrink, "shrink", true, "minimize the first failing episode on violation")
+	flag.Parse()
+	if err := run(opt, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSimcheckSmoke(t *testing.T) {
+	var out bytes.Buffer
+	opt := options{
+		episodes: 2, configs: "CNL-UFS,ION-GPFS", cells: "MLC",
+		faultName: "worn", seed: 1, metamorphic: true, shrink: true,
+	}
+	if err := run(opt, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"CNL-UFS/MLC",
+		"ION-GPFS/MLC",
+		"metamorphic checks:",
+		"4 relations  0 violations",
+		"4 episodes",
+		"0 violations",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestSimcheckRejectsUnknownNames(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(options{episodes: 1, configs: "NOPE", cells: "MLC", faultName: "none"}, &out); err == nil {
+		t.Fatal("unknown config accepted")
+	}
+	if err := run(options{episodes: 1, configs: "CNL-UFS", cells: "QLC", faultName: "none"}, &out); err == nil {
+		t.Fatal("unknown cell accepted")
+	}
+	if err := run(options{episodes: 1, configs: "CNL-UFS", cells: "MLC", faultName: "bogus"}, &out); err == nil {
+		t.Fatal("unknown fault profile accepted")
+	}
+}
+
+func TestCellForName(t *testing.T) {
+	if c, err := cellForName("slc"); err != nil || c.String() != "SLC" {
+		t.Fatalf("slc -> %v, %v", c, err)
+	}
+	if _, err := cellForName("xlc"); err == nil {
+		t.Fatal("xlc accepted")
+	}
+}

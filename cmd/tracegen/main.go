@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"oocnvm/internal/experiment"
@@ -32,7 +33,7 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "random stream seed")
 	)
 	flag.Parse()
-	if err := run(*matrix, *panel, *apps, *fsName, *posixF, *blockF, *asJSON, *fig6, *entries, *seed); err != nil {
+	if err := run(*matrix, *panel, *apps, *fsName, *posixF, *blockF, *asJSON, *fig6, *entries, *seed, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
@@ -53,7 +54,7 @@ func buildFS(name string, capacity int64, seed uint64) (fs.FileSystem, error) {
 	return nil, fmt.Errorf("unknown file system %q", name)
 }
 
-func run(matrix, panel, apps int, fsName, posixF, blockF string, asJSON, fig6 bool, entries int, seed uint64) error {
+func run(matrix, panel, apps int, fsName, posixF, blockF string, asJSON, fig6 bool, entries int, seed uint64, out, errw io.Writer) error {
 	wl := ooc.Workload{
 		MatrixBytes:  int64(matrix) << 20,
 		PanelBytes:   int64(panel) << 20,
@@ -78,12 +79,12 @@ func run(matrix, panel, apps int, fsName, posixF, blockF string, asJSON, fig6 bo
 		if err != nil {
 			return err
 		}
-		fmt.Print(s)
+		fmt.Fprint(out, s)
 	}
 
 	st := trace.Characterize(block)
-	fmt.Fprintf(os.Stderr, "posix ops: %d (%d MiB)\n", len(posix), wl.TotalBytes()>>20)
-	fmt.Fprintf(os.Stderr, "%s block ops: %d, mean request %.1f KiB, %.1f%% sequential, %d metadata ops, %d sync ops\n",
+	fmt.Fprintf(errw, "posix ops: %d (%d MiB)\n", len(posix), wl.TotalBytes()>>20)
+	fmt.Fprintf(errw, "%s block ops: %d, mean request %.1f KiB, %.1f%% sequential, %d metadata ops, %d sync ops\n",
 		fsys.Name(), st.Ops, st.MeanSize/1024, 100*st.SequentialPct, st.MetaOps, st.SyncOps)
 
 	if posixF != "" {

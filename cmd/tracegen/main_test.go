@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"oocnvm/internal/trace"
+)
+
+func TestTracegenSmoke(t *testing.T) {
+	dir := t.TempDir()
+	posixF := filepath.Join(dir, "posix.bin")
+	blockF := filepath.Join(dir, "block.bin")
+	var out, errw bytes.Buffer
+	if err := run(16, 4, 1, "EXT4", posixF, blockF, false, false, 0, 42, &out, &errw); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"posix ops:", "EXT4 block ops:", "sequential"} {
+		if !strings.Contains(errw.String(), want) {
+			t.Errorf("stderr missing %q:\n%s", want, errw.String())
+		}
+	}
+	f, err := os.Open(blockF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ops, err := trace.ReadBlockTrace(f)
+	if err != nil {
+		t.Fatalf("block trace unreadable: %v", err)
+	}
+	if len(ops) == 0 {
+		t.Fatal("block trace is empty")
+	}
+}
+
+func TestTracegenFig6(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run(16, 4, 1, "GPFS", "", "", false, true, 8, 42, &out, &errw); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("-fig6 printed nothing")
+	}
+}
+
+func TestTracegenRejectsUnknownFS(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run(16, 4, 1, "NTFS", "", "", false, false, 0, 42, &out, &errw); err == nil {
+		t.Fatal("unknown file system accepted")
+	}
+}

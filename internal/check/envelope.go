@@ -1,0 +1,113 @@
+package check
+
+import (
+	"fmt"
+
+	"oocnvm/internal/nvm"
+	"oocnvm/internal/ssd"
+)
+
+// Envelope holds the closed-form analytical bounds implied by a stack's
+// configuration: the host link's line rate (lanes × per-lane rate ×
+// encoding efficiency, already folded into Link.BytesPerSec), the aggregate
+// channel-bus bandwidth, and the die-level operation timings of Table 1. A
+// simulated result outside these bounds is impossible hardware, however
+// plausible it looks.
+type Envelope struct {
+	LinkBps float64
+	Geo     nvm.Geometry
+	Cell    nvm.CellParams
+	Bus     nvm.BusParams
+}
+
+// NewEnvelope derives the envelope for a configured stack.
+func NewEnvelope(geo nvm.Geometry, cell nvm.CellParams, bus nvm.BusParams, link nvm.Link) Envelope {
+	return Envelope{LinkBps: link.BytesPerSec(), Geo: geo, Cell: cell, Bus: bus}
+}
+
+// envTol absorbs float rounding in the bound comparisons; real violations
+// overshoot by whole factors, not fractions of a percent.
+const envTol = 0.01
+
+// infiniteLinkBps marks the Infinite link (1e18 B/s); above this threshold
+// the link imposes no meaningful bound.
+const infiniteLinkBps = 1e17
+
+// Check asserts a replay result against the envelope and returns every
+// bound it breaks.
+func (e Envelope) Check(res ssd.Result) []Violation {
+	var out []Violation
+	add := func(format string, args ...any) {
+		out = append(out, Violation{Kind: "envelope", Detail: fmt.Sprintf(format, args...)})
+	}
+	st := res.Stats
+
+	// Conservation: the byte counters and the page-op counters must agree —
+	// all media traffic moves whole pages.
+	if st.BytesRead != st.Reads*e.Cell.PageSize {
+		add("conservation: %d bytes read != %d page reads x %d B pages", st.BytesRead, st.Reads, e.Cell.PageSize)
+	}
+	if st.BytesWritten != st.Programs*e.Cell.PageSize {
+		add("conservation: %d bytes written != %d programs x %d B pages", st.BytesWritten, st.Programs, e.Cell.PageSize)
+	}
+
+	// Utilizations and occupancies are fractions of the span.
+	for _, u := range []struct {
+		name string
+		v    float64
+	}{
+		{"channel utilization", st.ChannelUtilization},
+		{"package utilization", st.PackageUtilization},
+		{"bus occupancy", st.BusOccupancy},
+	} {
+		if u.v < 0 || u.v > 1+envTol {
+			add("%s %.4f outside [0,1]", u.name, u.v)
+		}
+	}
+
+	media := st.BytesRead + st.BytesWritten
+	if media == 0 && st.Erases == 0 {
+		return out
+	}
+	if st.Span <= 0 {
+		add("media did %d bytes and %d erases in non-positive span %v", media, st.Erases, st.Span)
+		return out
+	}
+	span := st.Span.Seconds()
+
+	// Upper bound: media throughput cannot beat the narrower of the host
+	// link and the aggregate channel buses. Every media byte (including GC
+	// and relocation traffic) crosses both.
+	chBps := float64(e.Geo.Channels) * e.Bus.BytesPerSec()
+	capBps := chBps
+	if e.LinkBps < infiniteLinkBps && e.LinkBps < capBps {
+		capBps = e.LinkBps
+	}
+	if got := float64(media) / span; got > capBps*(1+envTol) {
+		add("media rate %.1f MB/s exceeds configured ceiling %.1f MB/s (link %.1f, channels %.1f)",
+			got/1e6, capBps/1e6, e.LinkBps/1e6, chBps/1e6)
+	}
+
+	// Lower bounds on the span: each resource alone needs at least this
+	// long. Multi-plane merging shares one activation across at most Planes
+	// pages, and the device has Dies() independent dies.
+	dies := float64(e.Geo.Dies())
+	planes := float64(e.Cell.Planes)
+	bounds := []struct {
+		name string
+		need float64 // seconds
+	}{
+		{"link transfer", float64(media) / e.LinkBps},
+		{"channel transfer", float64(media) / chBps},
+		{"read activation", float64(st.Reads) * e.Cell.ReadLatency.Seconds() / (planes * dies)},
+		{"program activation", float64(st.Programs) * e.Cell.ProgramLatencyMin.Seconds() / (planes * dies)},
+		{"erase activation", float64(st.Erases) * e.Cell.EraseLatency.Seconds() / (planes * dies)},
+	}
+	for _, b := range bounds {
+		if span < b.need*(1-envTol) {
+			add("span %.3fms beats the %s floor %.3fms — faster than the configured hardware allows",
+				span*1e3, b.name, b.need*1e3)
+		}
+	}
+	return out
+}

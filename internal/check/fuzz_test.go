@@ -1,0 +1,71 @@
+package check
+
+import (
+	"bytes"
+	"testing"
+
+	"oocnvm/internal/sim"
+	"oocnvm/internal/trace"
+)
+
+// FuzzWorkloadRoundTrip drives the property-based generator from fuzzed
+// parameters and requires the binary trace codec to round-trip the result
+// byte-identically: every generated workload must survive
+// WriteBlockTrace/ReadBlockTrace unchanged, whatever the mix, skew,
+// alignment or op count.
+func FuzzWorkloadRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint16(100), 0.45, 0.05, 0.6, 0.05)
+	f.Add(uint64(42), uint16(1), 0.0, 1.0, 0.0, 0.0)
+	f.Add(uint64(7), uint16(500), 1.0, 0.0, 1.0, 1.0)
+	f.Add(uint64(0), uint16(0), 0.3, 0.3, 0.5, 0.5)
+	f.Fuzz(func(t *testing.T, seed uint64, n uint16, writeFrac, trimFrac, hotFrac, unaligned float64) {
+		clamp := func(x float64) float64 {
+			if !(x >= 0) { // also catches NaN
+				return 0
+			}
+			if x > 1 {
+				return 1
+			}
+			return x
+		}
+		writeFrac = clamp(writeFrac)
+		trimFrac = clamp(trimFrac) * (1 - writeFrac)
+		p := Params{
+			Ops:       int(n),
+			WriteFrac: writeFrac,
+			TrimFrac:  trimFrac,
+			HotFrac:   clamp(hotFrac),
+			HotPages:  64,
+			Region:    8 << 20,
+			MaxPages:  32,
+			SyncEvery: 16,
+			Unaligned: clamp(unaligned),
+			PageSize:  4096,
+		}
+		ops := Generate(p, sim.NewRNG(seed))
+		if len(ops) != p.Ops {
+			t.Fatalf("generated %d ops, want %d", len(ops), p.Ops)
+		}
+		for i, op := range ops {
+			if op.Offset < 0 || op.Size <= 0 || op.Offset+op.Size > p.Region {
+				t.Fatalf("op %d outside region: %+v", i, op)
+			}
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteBlockTrace(&buf, ops); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got, err := trace.ReadBlockTrace(&buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(got) != len(ops) {
+			t.Fatalf("round-trip length %d, want %d", len(got), len(ops))
+		}
+		for i := range got {
+			if got[i] != ops[i] {
+				t.Fatalf("op %d mutated: wrote %+v, read %+v", i, ops[i], got[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,105 @@
+package check
+
+import (
+	"oocnvm/internal/sim"
+	"oocnvm/internal/trace"
+)
+
+// Params parameterizes the property-based workload generator. The zero
+// value is not useful; start from DefaultParams.
+type Params struct {
+	Ops       int     // number of block requests to generate
+	WriteFrac float64 // fraction of ops that are writes
+	TrimFrac  float64 // fraction of ops that are erases/TRIMs (rest are reads)
+	HotFrac   float64 // fraction of ops aimed at the hot region
+	HotPages  int64   // hot region size in pages (from offset 0)
+	Region    int64   // addressable bytes (requests stay inside [0, Region))
+	MaxPages  int64   // max request size in pages
+	SyncEvery int     // every Nth request is a write barrier (0 = never)
+	Unaligned float64 // probability a request is deliberately page-unaligned
+	PageSize  int64
+}
+
+// DefaultParams sizes a mixed hot/cold read-write-trim workload for a
+// device of the given capacity: the region covers half the device and the
+// op count is chosen so expected write volume is ~1.2x capacity, enough to
+// exhaust the free pool and force garbage collection (and, under a fault
+// profile, wear and retirement) during the episode.
+func DefaultParams(capacity, pageSize int64) Params {
+	p := Params{
+		WriteFrac: 0.45,
+		TrimFrac:  0.05,
+		HotFrac:   0.6,
+		Region:    capacity / 2,
+		MaxPages:  64,
+		SyncEvery: 32,
+		Unaligned: 0.05,
+		PageSize:  pageSize,
+	}
+	p.HotPages = p.Region / pageSize / 8
+	if p.HotPages < 1 {
+		p.HotPages = 1
+	}
+	expPerWrite := float64(p.MaxPages) / 2 * float64(pageSize)
+	p.Ops = int(1.2*float64(capacity)/(p.WriteFrac*expPerWrite)) + 1
+	return p
+}
+
+// Generate produces a deterministic pseudo-random block trace from the
+// parameters: same params + same generator state ⇒ byte-identical trace.
+func Generate(p Params, rng *sim.RNG) []trace.BlockOp {
+	ps := p.PageSize
+	regionPages := p.Region / ps
+	if regionPages < 1 {
+		regionPages = 1
+	}
+	hot := p.HotPages
+	if hot > regionPages {
+		hot = regionPages
+	}
+	ops := make([]trace.BlockOp, 0, p.Ops)
+	for i := 0; i < p.Ops; i++ {
+		var kind trace.Kind
+		switch r := rng.Float64(); {
+		case r < p.WriteFrac:
+			kind = trace.Write
+		case r < p.WriteFrac+p.TrimFrac:
+			kind = trace.Erase
+		default:
+			kind = trace.Read
+		}
+		var page int64
+		if rng.Bool(p.HotFrac) {
+			page = rng.Int63n(hot)
+		} else {
+			page = rng.Int63n(regionPages)
+		}
+		pages := 1 + rng.Int63n(p.MaxPages)
+		if page+pages > regionPages {
+			pages = regionPages - page
+		}
+		offset := page * ps
+		size := pages * ps
+		if kind != trace.Erase && rng.Bool(p.Unaligned) {
+			// Shift into the page and shave the tail so the request stays
+			// in-region but crosses page boundaries off-grid.
+			shift := rng.Int63n(ps)
+			offset += shift
+			if size > shift {
+				size -= shift
+			}
+		}
+		if size <= 0 {
+			size = ps
+		}
+		op := trace.BlockOp{Kind: kind, Offset: offset, Size: size}
+		if p.SyncEvery > 0 && i%p.SyncEvery == p.SyncEvery-1 {
+			op.Sync = true
+		}
+		if kind == trace.Erase {
+			op.Meta = true
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}

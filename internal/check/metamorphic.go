@@ -1,0 +1,109 @@
+package check
+
+import (
+	"fmt"
+
+	"oocnvm/internal/interconnect"
+	"oocnvm/internal/sim"
+)
+
+// monoTol is the slack allowed on monotonicity comparisons; the simulator
+// is deterministic, so the tolerance only absorbs benign scheduling
+// differences, not real regressions.
+const monoTol = 0.01
+
+// CheckDeterminism replays the same seeded episode twice through two
+// independently built stacks and requires bit-identical results: same seed
+// ⇒ same trace ⇒ same timings, counters, breakdowns and fault counts.
+func CheckDeterminism(sc StackConfig, p Params) ([]Violation, error) {
+	a, err := RunEpisode(sc, p)
+	if err != nil {
+		return nil, err
+	}
+	b, err := RunEpisode(sc, p)
+	if err != nil {
+		return nil, err
+	}
+	var out []Violation
+	out = append(out, a.Violations...)
+	if a.Result != b.Result {
+		out = append(out, Violation{Kind: "metamorphic", Detail: fmt.Sprintf(
+			"same seed %d produced different results:\n--- run 1\n%v\n--- run 2\n%v",
+			sc.Seed, a.Result, b.Result)})
+	}
+	if len(a.Violations) != len(b.Violations) {
+		out = append(out, Violation{Kind: "metamorphic", Detail: fmt.Sprintf(
+			"same seed %d produced %d violations then %d",
+			sc.Seed, len(a.Violations), len(b.Violations))})
+	}
+	return out, nil
+}
+
+// elapsedPair replays the same trace through two stack variants and
+// reports (elapsed-first, elapsed-second) plus any per-run violations.
+func elapsedPair(first, second StackConfig, p Params) (sim.Time, sim.Time, []Violation, error) {
+	ops := Generate(p, sim.NewRNG(first.Seed))
+	a, err := Replay(first, ops)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	b, err := Replay(second, ops)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return a.Result.Elapsed, b.Result.Elapsed, append(a.Violations, b.Violations...), nil
+}
+
+func monotone(name string, slow, fast sim.Time) []Violation {
+	if float64(fast) > float64(slow)*(1+monoTol) {
+		return []Violation{{Kind: "metamorphic", Detail: fmt.Sprintf(
+			"%s: better-provisioned stack is slower (%v) than the lesser one (%v)", name, fast, slow)}}
+	}
+	return nil
+}
+
+// CheckLaneMonotonicity verifies that widening the PCIe attachment never
+// slows the same workload down (Table 3: more lanes ⇒ more link bandwidth).
+func CheckLaneMonotonicity(sc StackConfig, p Params) ([]Violation, error) {
+	narrow, wide := sc, sc
+	narrow.Config.PCIe.Lanes = 8
+	wide.Config.PCIe.Lanes = 16
+	e8, e16, viol, err := elapsedPair(narrow, wide, p)
+	if err != nil {
+		return nil, err
+	}
+	return append(viol, monotone("pcie x8 -> x16", e8, e16)...), nil
+}
+
+// CheckChannelMonotonicity verifies that doubling the channel count never
+// slows the same workload down. The workload is sized for the narrower
+// geometry so both devices can hold it.
+func CheckChannelMonotonicity(sc StackConfig, p Params) ([]Violation, error) {
+	few := sc
+	few.Geometry = sc.geometry()
+	many := few
+	many.Geometry.Channels *= 2
+	eFew, eMany, viol, err := elapsedPair(few, many, p)
+	if err != nil {
+		return nil, err
+	}
+	return append(viol, monotone(fmt.Sprintf("%d -> %d channels", few.Geometry.Channels, many.Geometry.Channels), eFew, eMany)...), nil
+}
+
+// CheckPlacementMonotonicity verifies the paper's central claim holds as an
+// invariant: moving the device from behind the cluster network (ION-local)
+// to compute-local (CNL) never makes the same workload slower.
+func CheckPlacementMonotonicity(sc StackConfig, p Params) ([]Violation, error) {
+	local, remote := sc, sc
+	local.Config.Remote = false
+	remote.Config.Remote = true
+	if remote.Config.Network == (interconnect.NetworkParams{}) {
+		remote.Config.Network = interconnect.QDR4XInfiniBand()
+	}
+	eLocal, eRemote, viol, err := elapsedPair(remote, local, p)
+	if err != nil {
+		return nil, err
+	}
+	// remote is the "slow" leg: local must not exceed it.
+	return append(viol, monotone("ION -> CNL placement", eLocal, eRemote)...), nil
+}

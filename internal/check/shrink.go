@@ -1,0 +1,85 @@
+package check
+
+import "oocnvm/internal/trace"
+
+// Predicate reports whether replaying ops still reproduces the failure
+// being minimized. Implementations must be deterministic; the shrinker
+// calls it many times.
+type Predicate func(ops []trace.BlockOp) bool
+
+// maxShrinkAttempts bounds predicate evaluations; ddmin converges long
+// before this on any realistic trace, the cap only guards pathological
+// predicates.
+const maxShrinkAttempts = 4096
+
+// Shrink minimizes a failing trace with delta debugging (ddmin): it
+// repeatedly tries dropping chunks of the trace, keeping any reduction that
+// still fails, at progressively finer granularity, then finishes with a
+// one-op-at-a-time elimination pass. The result still satisfies fails.
+func Shrink(ops []trace.BlockOp, fails Predicate) []trace.BlockOp {
+	if len(ops) == 0 || !fails(ops) {
+		return ops
+	}
+	attempts := 0
+	try := func(candidate []trace.BlockOp) bool {
+		if attempts >= maxShrinkAttempts {
+			return false
+		}
+		attempts++
+		return fails(candidate)
+	}
+
+	cur := append([]trace.BlockOp(nil), ops...)
+	n := 2
+	for len(cur) >= 2 && n <= len(cur) && attempts < maxShrinkAttempts {
+		chunk := (len(cur) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(cur); start += chunk {
+			end := start + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			candidate := make([]trace.BlockOp, 0, len(cur)-(end-start))
+			candidate = append(candidate, cur[:start]...)
+			candidate = append(candidate, cur[end:]...)
+			if len(candidate) > 0 && try(candidate) {
+				cur = candidate
+				n = max(n-1, 2)
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				break
+			}
+			n = min(2*n, len(cur))
+		}
+	}
+
+	// Final pass: drop single ops until no single op can be removed.
+	for again := true; again && attempts < maxShrinkAttempts; {
+		again = false
+		for i := 0; i < len(cur) && len(cur) > 1; i++ {
+			candidate := make([]trace.BlockOp, 0, len(cur)-1)
+			candidate = append(candidate, cur[:i]...)
+			candidate = append(candidate, cur[i+1:]...)
+			if try(candidate) {
+				cur = candidate
+				again = true
+				i--
+			}
+		}
+	}
+	return cur
+}
+
+// FailsWith builds a shrink predicate that replays a trace through a fresh
+// stack built from sc and reports whether any violation (or stack build
+// error) occurs.
+func FailsWith(sc StackConfig) Predicate {
+	return func(ops []trace.BlockOp) bool {
+		res, err := Replay(sc, ops)
+		return err != nil || len(res.Violations) > 0
+	}
+}

@@ -40,6 +40,7 @@ type FTL struct {
 	freeHeap  wearHeap // free superblocks ordered by wear (wear leveling)
 	active    int64    // currently filling superblock, -1 if none
 	writePtr  int64    // next page slot within the active superblock
+	inGC      bool     // guards against reentrant garbage collection
 	preloaded int64    // superblocks occupied by preloaded, identity-mapped data
 	reserve   int      // GC trigger: minimum free superblocks to maintain
 
@@ -51,11 +52,16 @@ type FTL struct {
 	grownBad   int64
 
 	probe obs.Probe
+	tap   nvm.MappingTap
 }
 
 // SetProbe attaches an observability probe: map-lookup and GC counters, and
 // the erase-amplification inputs (host vs NAND writes, relocations).
 func (f *FTL) SetProbe(p obs.Probe) { f.probe = obs.OrNop(p) }
+
+// SetMappingTap attaches a conformance tap observing every placement,
+// lookup and trim this FTL performs. Nil detaches.
+func (f *FTL) SetMappingTap(t nvm.MappingTap) { f.tap = t }
 
 type superblock struct {
 	valid  int64
@@ -168,6 +174,9 @@ func (f *FTL) Read(offset, size int64) []nvm.PageOp {
 	ops := make([]nvm.PageOp, 0, last-first+1)
 	for lpn := first; lpn <= last; lpn++ {
 		ppn := f.lookup(lpn) % f.Pages()
+		if f.tap != nil {
+			f.tap.MapRead(lpn, ppn)
+		}
 		ops = append(ops, nvm.PageOp{Op: nvm.OpRead, Loc: f.Locate(ppn), PPN: ppn})
 	}
 	return ops
@@ -200,8 +209,13 @@ func (f *FTL) program(lpn int64) []nvm.PageOp {
 			f.sb[f.active].sealed = true
 		}
 		ops = append(ops, f.maybeGC()...)
-		f.active = f.allocSuperblock()
-		f.writePtr = 0
+		// GC relocation re-enters program and may already have opened (and
+		// partially filled) a fresh superblock; allocating unconditionally
+		// here would abandon it mid-fill and strand its valid pages.
+		if f.active < 0 || f.writePtr >= f.spb {
+			f.active = f.allocSuperblock()
+			f.writePtr = 0
+		}
 	}
 	// Invalidate the previous version.
 	old, had := f.l2p[lpn]
@@ -218,6 +232,9 @@ func (f *FTL) program(lpn int64) []nvm.PageOp {
 	f.writePtr++
 	f.l2p[lpn] = ppn
 	f.p2l[ppn] = lpn
+	if f.tap != nil {
+		f.tap.MapWrite(lpn, ppn)
+	}
 	f.sb[f.active].valid++
 	f.nandWrites++
 	f.probe.Count("ftl.nand_writes", 1)
@@ -242,7 +259,16 @@ func (f *FTL) allocSuperblock() int64 {
 }
 
 // maybeGC reclaims sealed superblocks until the free pool meets the reserve.
+// It refuses to run reentrantly: collect's relocation programs call back
+// into program, and a nested GC round could pick a victim an outer round is
+// still collecting — the victim would be pushed onto the free heap twice and
+// later be the active log twice, overwriting live pages.
 func (f *FTL) maybeGC() []nvm.PageOp {
+	if f.inGC {
+		return nil
+	}
+	f.inGC = true
+	defer func() { f.inGC = false }()
 	var ops []nvm.PageOp
 	for f.freeHeap.Len() < f.reserve {
 		victim := f.pickVictim()
@@ -264,7 +290,10 @@ func (f *FTL) pickVictim() int64 {
 		if s.free || s.bad || !s.sealed || i == f.active {
 			continue
 		}
-		if s.valid < bestValid {
+		if s.valid < bestValid && s.valid < f.spb {
+			// A fully-valid victim reclaims nothing: collecting it only
+			// copies the superblock elsewhere, and GC would loop on such
+			// victims forever once grown-bad blocks eat the slack.
 			bestValid = s.valid
 			best = i
 		}
@@ -380,7 +409,10 @@ func (f *FTL) RetireBlock(ppn int64) nvm.Retirement {
 	if f.active >= 0 && v != f.active {
 		room += f.spb - f.writePtr
 	}
-	if room == 0 || s.valid > room {
+	// Demand a full superblock of slack beyond the relocated pages: retiring
+	// into exactly-fitting space leaves the log nowhere to cycle its active
+	// superblock, and GC would spin over fully-valid victims forever.
+	if room == 0 || s.valid+f.spb > room {
 		return nvm.Retirement{}
 	}
 	f.grownBad++

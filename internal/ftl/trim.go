@@ -14,6 +14,9 @@ func (f *FTL) Erase(offset, size int64) []nvm.PageOp {
 	first := offset / f.cell.PageSize
 	last := (offset + size - 1) / f.cell.PageSize
 	for lpn := first; lpn <= last; lpn++ {
+		if f.tap != nil {
+			f.tap.MapTrim(lpn)
+		}
 		if ppn, ok := f.l2p[lpn]; ok {
 			f.sb[f.superOf(ppn)].valid--
 			delete(f.p2l, ppn)

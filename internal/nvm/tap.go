@@ -1,0 +1,37 @@
+package nvm
+
+// MappingTap observes a translation layer's placement decisions. The
+// conformance subsystem (internal/check) attaches one to the FTL or the
+// Direct translator to maintain a shadow copy of the logical-to-physical
+// mapping: every placement — host write, GC relocation, retirement
+// relocation, bad-block remap — reports through MapWrite, every translation
+// served to the host reports through MapRead, and every unmapping reports
+// through MapTrim. The simulator moves no real data, so this logical view is
+// what end-to-end data-integrity checking is built on.
+//
+// Taps must be cheap and must not mutate translator state; a nil tap is the
+// (free) default everywhere.
+type MappingTap interface {
+	// MapWrite reports that lpn's current content now lives at ppn.
+	MapWrite(lpn, ppn int64)
+	// MapRead reports that a host read of lpn was served from ppn.
+	MapRead(lpn, ppn int64)
+	// MapTrim reports that lpn was unmapped (TRIM/erase); its content is gone.
+	MapTrim(lpn int64)
+}
+
+// InstrumentMapping attaches a tap to any component exposing
+// SetMappingTap(MappingTap), reporting whether it did. Mirrors
+// obs.Instrument: translators advertise the hook without this package
+// importing them.
+func InstrumentMapping(x any, t MappingTap) bool {
+	if x == nil || t == nil {
+		return false
+	}
+	s, ok := x.(interface{ SetMappingTap(MappingTap) })
+	if !ok {
+		return false
+	}
+	s.SetMappingTap(t)
+	return true
+}

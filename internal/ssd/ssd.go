@@ -61,7 +61,13 @@ type Direct struct {
 	remap     map[int64]int64 // logical eraseblock -> replacement block
 	bad       map[int64]bool  // physically retired blocks
 	nextSpare int64           // next spare block id, counting down
+
+	tap nvm.MappingTap
 }
+
+// SetMappingTap attaches a conformance tap observing every translation this
+// Direct mapping serves, including bad-block redirections. Nil detaches.
+func (d *Direct) SetMappingTap(t nvm.MappingTap) { d.tap = t }
 
 // NewDirect builds the identity translator with an empty bad-block remap.
 func NewDirect(geo nvm.Geometry, cell nvm.CellParams) *Direct {
@@ -130,6 +136,13 @@ func (d *Direct) mapRange(op nvm.Op, offset, size int64) []nvm.PageOp {
 	ops := make([]nvm.PageOp, 0, last-first+1)
 	for lpn := first; lpn <= last; lpn++ {
 		ppn := d.redirect(lpn % total)
+		if d.tap != nil {
+			if op == nvm.OpProgram {
+				d.tap.MapWrite(lpn%total, ppn)
+			} else {
+				d.tap.MapRead(lpn%total, ppn)
+			}
+		}
 		ops = append(ops, nvm.PageOp{Op: op, Loc: d.Geo.MapLogical(ppn, d.Cell.Planes), PPN: ppn})
 	}
 	return ops
@@ -155,9 +168,15 @@ func (d *Direct) Erase(offset, size int64) []nvm.PageOp {
 	first := offset / blockBytes
 	last := (offset + size - 1) / blockBytes
 	ops := make([]nvm.PageOp, 0, last-first+1)
+	ppb := int64(d.Cell.PagesPerBlock)
 	for b := first; b <= last; b++ {
 		// Identify the die-plane owning this block via its first page.
-		ppn := d.redirect((b * int64(d.Cell.PagesPerBlock)) % total)
+		ppn := d.redirect((b * ppb) % total)
+		if d.tap != nil {
+			for k := int64(0); k < ppb; k++ {
+				d.tap.MapTrim((b*ppb + k) % total)
+			}
+		}
 		ops = append(ops, nvm.PageOp{Op: nvm.OpErase, Loc: d.Geo.MapLogical(ppn, d.Cell.Planes), PPN: ppn})
 	}
 	return ops
@@ -196,6 +215,10 @@ func (d *Direct) RetireBlock(ppn int64) nvm.Retirement {
 	ops := make([]nvm.PageOp, 0, 2*ppb)
 	for k := int64(0); k < ppb; k++ {
 		from, to := d.pageIn(b, k), d.pageIn(spare, k)
+		if d.tap != nil {
+			// The block's logical pages are the identity pages of src.
+			d.tap.MapWrite(d.pageIn(src, k), to)
+		}
 		ops = append(ops,
 			nvm.PageOp{Op: nvm.OpRead, Loc: d.Geo.MapLogical(from, d.Cell.Planes), PPN: from},
 			nvm.PageOp{Op: nvm.OpProgram, Loc: d.Geo.MapLogical(to, d.Cell.Planes), PPN: to})
