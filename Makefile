@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check fmt fuzz cover bench simcheck
+.PHONY: all build vet test race check fmt fuzz cover bench bench-smoke profile simcheck
 FUZZTIME ?= 10s
 
 all: check
@@ -34,6 +34,23 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=1x . | $(GO) run ./cmd/benchjson > BENCH_results.json
 	@echo "wrote BENCH_results.json"
 
+# Quick subset of the figure benchmarks for CI smoke runs: enough to catch a
+# perf or allocation regression without replaying every evaluation matrix.
+bench-smoke:
+	$(GO) test -run='^$$' -benchmem -benchtime=1x \
+		-bench='Fig7aBandwidth|Fig10Breakdown|SimulatorPageThroughput|TelemetrySampling' . \
+		| $(GO) run ./cmd/benchjson > bench_smoke.json
+	@echo "wrote bench_smoke.json"
+
+# CPU + allocation profile of a representative attributed replay; inspect
+# with `go tool pprof profile/cpu.pprof` (or mem.pprof).
+profile:
+	@mkdir -p profile
+	$(GO) run ./cmd/tracegen -matrix 96 -panel 8 -fs EXT4 -block profile/profile.trace
+	$(GO) run ./cmd/replay -trace profile/profile.trace -config CNL-EXT4 -cell TLC \
+		-attrib -cpuprofile profile/cpu.pprof -memprofile profile/mem.pprof
+	@echo "wrote profile/cpu.pprof and profile/mem.pprof"
+
 # Cross-layer conformance sweep: integrity oracle + analytical envelopes +
 # metamorphic relations over the acceptance configurations.
 simcheck:
@@ -42,4 +59,4 @@ simcheck:
 cover:
 	$(GO) test -cover ./... | tee coverage.txt
 
-check: fmt vet build race
+check: fmt vet build test

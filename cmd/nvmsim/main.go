@@ -43,7 +43,16 @@ func main() {
 	}
 }
 
-func run(cellName, busName string, gen, lanes int, bridged bool, pattern, kind string, reqKiB int64, count int, windowKiB int64, qd int, seed uint64, exp export.Flags, out io.Writer) error {
+func run(cellName, busName string, gen, lanes int, bridged bool, pattern, kind string, reqKiB int64, count int, windowKiB int64, qd int, seed uint64, exp export.Flags, out io.Writer) (retErr error) {
+	stopProf, err := exp.StartProfiles()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && retErr == nil {
+			retErr = perr
+		}
+	}()
 	var cell nvm.CellType
 	switch cellName {
 	case "SLC":
@@ -76,6 +85,7 @@ func run(cellName, busName string, gen, lanes int, bridged bool, pattern, kind s
 	cp := nvm.Params(cell)
 	col := exp.Collector()
 	samp := exp.Sampler()
+	rec := exp.Recorder(col)
 	sc := ssd.Config{
 		Geometry:    geo,
 		Cell:        cp,
@@ -86,6 +96,7 @@ func run(cellName, busName string, gen, lanes int, bridged bool, pattern, kind s
 		WindowBytes: windowKiB << 10,
 		Seed:        seed,
 		Sampler:     samp,
+		Attrib:      rec,
 	}
 	if col != nil {
 		sc.Probe = col
@@ -148,7 +159,7 @@ func run(cellName, busName string, gen, lanes int, bridged bool, pattern, kind s
 				{"seed", fmt.Sprint(seed)},
 			},
 		}
-		if err := exp.Write(out, col, samp, info); err != nil {
+		if err := exp.Write(out, col, samp, rec, info); err != nil {
 			return err
 		}
 	}

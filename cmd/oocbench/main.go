@@ -70,18 +70,26 @@ func main() {
 	opt.PrecyclePE = *precycle
 	opt.Obs = exp.Collector()
 	samp := exp.Sampler()
+	rec := exp.Recorder(opt.Obs)
+	stopProf, err := exp.StartProfiles()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oocbench:", err)
+		os.Exit(1)
+	}
 
 	if err := run(opt, *fig, *table, *summary, *topology, *distrib, *energy, *cacheF, *chart, samp, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "oocbench:", err)
 		os.Exit(1)
 	}
 	// The cache study samples its own synthetic clock; every other mode gets
-	// its timelines from a dedicated single sampled run (the matrix runs
-	// concurrently, which a single-clock sampler cannot attach to).
-	if samp != nil && !*cacheF {
+	// its timelines and latency attribution from a dedicated single
+	// instrumented run (the matrix runs concurrently, which single-clock
+	// sampler/recorder state cannot attach to).
+	if (samp != nil || rec != nil) && !*cacheF {
 		sopt := opt
 		sopt.MeasureRemaining = false
 		sopt.Sampler = samp
+		sopt.Attrib = rec
 		cfg, err := experiment.FindConfig("CNL-EXT4")
 		if err == nil {
 			_, err = experiment.Run(cfg, nvm.TLC, sopt)
@@ -90,7 +98,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "oocbench:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("telemetry: sampled a dedicated CNL-EXT4/TLC run every %v\n", samp.Interval())
+		if samp != nil {
+			fmt.Printf("telemetry: sampled a dedicated CNL-EXT4/TLC run every %v\n", samp.Interval())
+		}
+		if rec != nil {
+			fmt.Printf("attribution: decomposed a dedicated CNL-EXT4/TLC run (%d requests)\n", rec.Requests())
+		}
 	}
 	if exp.Enabled() {
 		info := report.RunInfo{
@@ -104,10 +117,14 @@ func main() {
 				{"fault profile", *faultP},
 			},
 		}
-		if err := exp.Write(os.Stdout, opt.Obs, samp, info); err != nil {
+		if err := exp.Write(os.Stdout, opt.Obs, samp, rec, info); err != nil {
 			fmt.Fprintln(os.Stderr, "oocbench:", err)
 			os.Exit(1)
 		}
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "oocbench:", err)
+		os.Exit(1)
 	}
 }
 

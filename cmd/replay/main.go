@@ -60,10 +60,19 @@ func main() {
 	}
 }
 
-func run(o options, w io.Writer) error {
+func run(o options, w io.Writer) (retErr error) {
 	if o.file == "" {
 		return fmt.Errorf("-trace is required (capture one with tracegen)")
 	}
+	stopProf, err := o.exp.StartProfiles()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && retErr == nil {
+			retErr = perr
+		}
+	}()
 	f, err := os.Open(o.file)
 	if err != nil {
 		return err
@@ -114,6 +123,7 @@ func run(o options, w io.Writer) error {
 	// stack runs with free no-op probes otherwise.
 	col := o.exp.Collector()
 	samp := o.exp.Sampler()
+	rec := o.exp.Recorder(col)
 
 	link := cfg.BuildLink()
 	sc := ssd.Config{
@@ -127,6 +137,7 @@ func run(o options, w io.Writer) error {
 		CacheMode:   o.cache,
 		Seed:        o.seed,
 		Sampler:     samp,
+		Attrib:      rec,
 	}
 	if col != nil {
 		sc.Probe = col
@@ -199,7 +210,7 @@ func run(o options, w io.Writer) error {
 		if sc.Fault != nil {
 			info.FaultSummary = res.Faults.String()
 		}
-		if err := o.exp.Write(w, col, samp, info); err != nil {
+		if err := o.exp.Write(w, col, samp, rec, info); err != nil {
 			return err
 		}
 	}

@@ -278,6 +278,9 @@ func TestReplayExportsGoldenDeterminism(t *testing.T) {
 				ReportOut:  filepath.Join(dir, "report.html"),
 				TraceOut:   filepath.Join(dir, "trace.json"),
 				SampleUS:   100,
+				Attrib:     true,
+				AttribOut:  filepath.Join(dir, "anatomy.csv"),
+				AttribTop:  16,
 			},
 		}
 		paths = []string{
@@ -286,6 +289,7 @@ func TestReplayExportsGoldenDeterminism(t *testing.T) {
 			opts.exp.ReportOut,
 			filepath.Join(dir, "report.csv"),
 			opts.exp.TraceOut,
+			opts.exp.AttribOut,
 		}
 		return opts, paths
 	}
@@ -366,5 +370,19 @@ func TestReplayExportsGoldenDeterminism(t *testing.T) {
 		if !strings.Contains(string(html), name) {
 			t.Fatalf("report HTML missing sampled series %q", name)
 		}
+	}
+	// The byte-compare above therefore also pins the attribution sections:
+	// make sure they are actually in the report, not vacuously absent.
+	for _, want := range []string{"Component breakdown", "Slowest requests"} {
+		if !strings.Contains(string(html), want) {
+			t.Fatalf("report HTML missing attribution section %q", want)
+		}
+	}
+	anatomy, err := os.ReadFile(pathsA[5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(anatomy), "id,kind,offset,size") {
+		t.Fatalf("attribution CSV header wrong: %q", strings.SplitN(string(anatomy), "\n", 2)[0])
 	}
 }

@@ -81,6 +81,7 @@ func run(opt options, out io.Writer) error {
 
 	var failures []failure
 	episodes, requests := 0, 0
+	var attributed int64
 	fmt.Fprintf(out, "simcheck: %d episodes per pair, fault profile %q, base seed %d\n\n",
 		opt.episodes, opt.faultName, opt.seed)
 
@@ -88,6 +89,7 @@ func run(opt options, out io.Writer) error {
 		for _, cell := range cells {
 			pair := fmt.Sprintf("%s/%v", cfg.Name, cell)
 			pairReq, pairViol := 0, 0
+			var pairAttrib int64
 			for i := 0; i < opt.episodes; i++ {
 				sc := check.StackConfig{Config: cfg, Cell: cell, Fault: prof,
 					Seed: opt.seed + uint64(i)}
@@ -102,6 +104,7 @@ func run(opt options, out io.Writer) error {
 				episodes++
 				pairReq += len(res.Trace)
 				pairViol += len(res.Violations)
+				pairAttrib += res.Attrib.Requests
 				for _, v := range res.Violations {
 					failures = append(failures, failure{
 						where: fmt.Sprintf("%s seed=%d", pair, sc.Seed),
@@ -109,8 +112,9 @@ func run(opt options, out io.Writer) error {
 				}
 			}
 			requests += pairReq
-			fmt.Fprintf(out, "  %-16s %3d episodes  %7d requests  %d violations\n",
-				pair, opt.episodes, pairReq, pairViol)
+			attributed += pairAttrib
+			fmt.Fprintf(out, "  %-16s %3d episodes  %7d requests  %7d attributed  %d violations\n",
+				pair, opt.episodes, pairReq, pairAttrib, pairViol)
 		}
 	}
 
@@ -151,8 +155,8 @@ func run(opt options, out io.Writer) error {
 		}
 	}
 
-	fmt.Fprintf(out, "\nsimcheck: %d episodes, %d requests, %d metamorphic checks, %d violations\n",
-		episodes, requests, metaChecks, len(failures))
+	fmt.Fprintf(out, "\nsimcheck: %d episodes, %d requests (%d attribution-conserving), %d metamorphic checks, %d violations\n",
+		episodes, requests, attributed, metaChecks, len(failures))
 	if len(failures) == 0 {
 		return nil
 	}

@@ -1,0 +1,54 @@
+package check
+
+import (
+	"fmt"
+
+	"oocnvm/internal/obs/attrib"
+)
+
+// CheckAttribution validates one recorder's latency-attribution summary
+// against the conservation envelope: every committed request's components
+// must sum exactly to its end-to-end simulated latency, every exemplar's
+// residual must be zero, and no component may run negative. Attribution is
+// derived purely from timestamp differences, so any violation is an
+// instrumentation defect, never measurement noise.
+func CheckAttribution(sum attrib.Summary) []Violation {
+	var out []Violation
+	if sum.Violations > 0 {
+		out = append(out, Violation{
+			Kind: "attribution",
+			Detail: fmt.Sprintf("%d of %d requests broke component conservation (max residual %v)",
+				sum.Violations, sum.Requests, sum.MaxResidual),
+		})
+	}
+	for c := attrib.Component(0); c < attrib.NumComponents; c++ {
+		if sum.Totals[c] < 0 {
+			out = append(out, Violation{
+				Kind:   "attribution",
+				Detail: fmt.Sprintf("component %v total is negative: %v", c, sum.Totals[c]),
+			})
+		}
+	}
+	for _, ex := range sum.Exemplars {
+		if len(out) >= maxViolations {
+			break
+		}
+		if r := ex.Residual(); r != 0 {
+			out = append(out, Violation{
+				Kind: "attribution",
+				Detail: fmt.Sprintf("request %d (%s offset=%d size=%d): components sum to %v, latency %v (residual %v)",
+					ex.ID, attrib.KindName(ex.Kind), ex.Offset, ex.Size, ex.Sum(), ex.Latency(), r),
+			})
+		}
+		for c, d := range ex.Comp {
+			if d < 0 {
+				out = append(out, Violation{
+					Kind: "attribution",
+					Detail: fmt.Sprintf("request %d: component %v is negative: %v",
+						ex.ID, attrib.Component(c), d),
+				})
+			}
+		}
+	}
+	return out
+}

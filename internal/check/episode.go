@@ -7,6 +7,7 @@ import (
 	"oocnvm/internal/fault"
 	"oocnvm/internal/ftl"
 	"oocnvm/internal/nvm"
+	"oocnvm/internal/obs/attrib"
 	"oocnvm/internal/sim"
 	"oocnvm/internal/ssd"
 	"oocnvm/internal/trace"
@@ -42,8 +43,10 @@ func (sc StackConfig) geometry() nvm.Geometry {
 
 // buildStack assembles the checked drive for the config. The returned
 // Checked wrapper carries the oracle; the envelope is derived from the same
-// configuration the stack was built from.
-func buildStack(sc StackConfig) (*ssd.SSD, *Checked, Envelope, error) {
+// configuration the stack was built from. Every checked stack also carries
+// a latency-attribution recorder so each episode exercises the attribution
+// conservation envelope alongside the oracle.
+func buildStack(sc StackConfig) (*ssd.SSD, *Checked, Envelope, *attrib.Recorder, error) {
 	geo := sc.geometry()
 	cell := nvm.Params(sc.Cell)
 
@@ -53,7 +56,7 @@ func buildStack(sc StackConfig) (*ssd.SSD, *Checked, Envelope, error) {
 	} else {
 		f, err := ftl.New(geo, cell, ftl.Config{})
 		if err != nil {
-			return nil, nil, Envelope{}, err
+			return nil, nil, Envelope{}, nil, err
 		}
 		inner = f
 	}
@@ -65,10 +68,11 @@ func buildStack(sc StackConfig) (*ssd.SSD, *Checked, Envelope, error) {
 		var err error
 		inj, err = fault.New(nvm.FaultConfig(geo, cell, sc.Fault, sc.Seed))
 		if err != nil {
-			return nil, nil, Envelope{}, err
+			return nil, nil, Envelope{}, nil, err
 		}
 	}
 
+	rec := attrib.NewRecorder(0)
 	link := sc.Config.BuildLink()
 	drive, err := ssd.New(ssd.Config{
 		Geometry:   geo,
@@ -79,11 +83,12 @@ func buildStack(sc StackConfig) (*ssd.SSD, *Checked, Envelope, error) {
 		QueueDepth: ssd.DefaultQueueDepth,
 		Seed:       sc.Seed,
 		Fault:      inj,
+		Attrib:     rec,
 	})
 	if err != nil {
-		return nil, nil, Envelope{}, err
+		return nil, nil, Envelope{}, nil, err
 	}
-	return drive, checked, NewEnvelope(geo, cell, sc.Config.Bus, link), nil
+	return drive, checked, NewEnvelope(geo, cell, sc.Config.Bus, link), rec, nil
 }
 
 // Capacity reports the stack's device capacity in bytes (for sizing
@@ -93,10 +98,13 @@ func (sc StackConfig) Capacity() int64 {
 }
 
 // EpisodeResult is one episode's outcome: the replayed trace, the drive's
-// measurements, and every violation the oracle and the envelope recorded.
+// measurements, the latency-attribution aggregate, and every violation the
+// oracle, the analytical envelope, and the attribution conservation
+// envelope recorded.
 type EpisodeResult struct {
 	Trace      []trace.BlockOp
 	Result     ssd.Result
+	Attrib     attrib.Summary
 	Violations []Violation
 }
 
@@ -113,15 +121,16 @@ func RunEpisode(sc StackConfig, p Params) (EpisodeResult, error) {
 // is the primitive both RunEpisode and the shrinker use: building a new
 // stack per attempt keeps every replay independent and deterministic.
 func Replay(sc StackConfig, ops []trace.BlockOp) (EpisodeResult, error) {
-	drive, checked, env, err := buildStack(sc)
+	drive, checked, env, rec, err := buildStack(sc)
 	if err != nil {
 		return EpisodeResult{}, err
 	}
 	res := drive.Replay(ops)
 
-	out := EpisodeResult{Trace: ops, Result: res}
+	out := EpisodeResult{Trace: ops, Result: res, Attrib: rec.Summary()}
 	out.Violations = append(out.Violations, checked.Oracle().Violations()...)
 	out.Violations = append(out.Violations, env.Check(res)...)
+	out.Violations = append(out.Violations, CheckAttribution(out.Attrib)...)
 	// Fault-free stacks must not error: the generator never leaves the
 	// device, so any surfaced error is the stack's own defect.
 	if err := drive.Err(); err != nil && !sc.Fault.Enabled() {

@@ -10,6 +10,7 @@ import (
 	"oocnvm/internal/interconnect"
 	"oocnvm/internal/nvm"
 	"oocnvm/internal/obs"
+	"oocnvm/internal/obs/attrib"
 	"oocnvm/internal/obs/timeseries"
 	"oocnvm/internal/ooc"
 	"oocnvm/internal/ssd"
@@ -45,6 +46,11 @@ type Options struct {
 	// runs (the sampler belongs to one drive's clock), so Matrix drops it;
 	// attach it only to a dedicated single Run.
 	Sampler *timeseries.Sampler
+	// Attrib, when non-nil, records per-request latency attribution from
+	// the achieved run (never the infinite-host remeasurement, whose
+	// synthetic host path has no anatomy worth decomposing). Like Sampler
+	// it is single-clock state, so Matrix drops it.
+	Attrib *attrib.Recorder
 }
 
 // DefaultOptions returns the evaluation defaults: the standard OoC workload
@@ -168,6 +174,9 @@ func replay(cfg Config, cell nvm.CellType, opt Options, ops []trace.BlockOp, win
 	if withFaults && opt.Sampler != nil {
 		sc.Sampler = opt.Sampler
 	}
+	if withFaults && opt.Attrib != nil {
+		sc.Attrib = opt.Attrib
+	}
 	if withFaults && opt.Fault.Enabled() {
 		fc := nvm.FaultConfig(opt.Geometry, cp, opt.Fault, opt.Seed)
 		fc.RetentionDays = opt.RetentionDays
@@ -192,10 +201,11 @@ func replay(cfg Config, cell nvm.CellType, opt Options, ops []trace.BlockOp, win
 // Matrix evaluates every (configuration, cell) pair concurrently and returns
 // measurements in (config-major, cell-minor) order.
 func Matrix(configs []Config, cells []nvm.CellType, opt Options) ([]Measurement, error) {
-	// A sampler is single-clock state; concurrent cells would race on it and
-	// interleave unrelated runs into one timeline. Matrix measurements are
-	// aggregate-only.
+	// A sampler or attribution recorder is single-clock state; concurrent
+	// cells would race on it and interleave unrelated runs into one
+	// timeline. Matrix measurements are aggregate-only.
 	opt.Sampler = nil
+	opt.Attrib = nil
 	type job struct{ ci, ni int }
 	out := make([]Measurement, len(configs)*len(cells))
 	errs := make([]error, len(out))

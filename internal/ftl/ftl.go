@@ -333,6 +333,13 @@ func (f *FTL) collect(victim int64) []nvm.PageOp {
 	heap.Push(&f.freeHeap, wearEntry{id: victim, wear: f.sb[victim].wear})
 	f.probe.Count("ftl.gc.relocated_pages", f.relocated-relocatedBefore)
 	f.probe.Count("ftl.gc.erases", f.rowsz)
+	// Everything this collection emitted — relocation reads, the programs
+	// they re-entered through the normal log path (program cannot recurse
+	// into GC here), and the victim erases — is garbage-collection traffic;
+	// latency attribution charges an all-GC activation to the GC component.
+	for i := range ops {
+		ops[i].GC = true
+	}
 	return ops
 }
 

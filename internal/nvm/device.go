@@ -5,6 +5,7 @@ import (
 
 	"oocnvm/internal/fault"
 	"oocnvm/internal/obs"
+	"oocnvm/internal/obs/attrib"
 	"oocnvm/internal/obs/timeseries"
 	"oocnvm/internal/sim"
 )
@@ -37,11 +38,14 @@ func (o Op) String() string {
 // PageOp is one page-granular transaction addressed to a physical location.
 // PPN carries the physical page number the translator resolved; the device's
 // scheduling ignores it, but the fault injector keys per-eraseblock wear and
-// error state off it.
+// error state off it. GC marks garbage-collection traffic (relocation
+// reads/programs and victim erases) so latency attribution can charge an
+// activation of pure GC work to the GC component instead of the host's.
 type PageOp struct {
 	Op  Op
 	Loc Location
 	PPN int64
+	GC  bool
 }
 
 // Link abstracts the host-side data path of the SSD (PCIe, possibly behind a
@@ -102,6 +106,21 @@ type Device struct {
 	// device with zero overhead.
 	faults *fault.Injector
 
+	// att, when non-nil, receives per-request critical-path attribution:
+	// the chain of timestamp differences from dispatch to completion of
+	// every cell activation (the latest-finishing chain is the request's
+	// critical path). All Recorder methods are nil-safe, so the nil case
+	// costs one predictable branch.
+	att *attrib.Recorder
+	// attGCSvc accumulates, per die and per request, the die occupancy of
+	// this request's own garbage-collection activations. Foreground GC
+	// precedes the host pages that triggered it, so a host chain's entry
+	// die-wait silently absorbs the collection service; the split charges
+	// that portion to the GC component instead. Reset on every Submit.
+	attGCSvc []sim.Time
+	// attActGC marks the activation currently executing as all-GC traffic.
+	attActGC bool
+
 	// The device's work counters and latency histogram live in a private
 	// obs.Registry so Stats is assembled from the registry in one place and
 	// a run-level collector can absorb them for export. The probe receives
@@ -126,6 +145,14 @@ func (d *Device) SetFaults(inj *fault.Injector) { d.faults = inj }
 // EnableCacheMode turns on dual-register cache operation (see the cacheMode
 // field). Call before submitting work.
 func (d *Device) EnableCacheMode() { d.cacheMode = true }
+
+// SetAttrib attaches a latency-attribution recorder. Nil detaches.
+func (d *Device) SetAttrib(rec *attrib.Recorder) {
+	d.att = rec
+	if rec != nil && d.attGCSvc == nil {
+		d.attGCSvc = make([]sim.Time, d.Geo.Channels*d.Geo.DiesPerChannel())
+	}
+}
 
 // NewDevice assembles a device from its geometry, medium, channel bus and
 // host link. The seed fixes the program-latency variation stream.
@@ -256,6 +283,13 @@ func (d *Device) Submit(at sim.Time, ops []PageOp) sim.Time {
 	if oh := d.link.RequestOverhead(); oh > 0 {
 		issue += oh
 		d.breakdown.NonOverlappedDMA += oh
+		d.att.Note(attrib.HostOverhead, oh)
+	}
+	attributing := d.att.DeviceActive()
+	if attributing {
+		for i := range d.attGCSvc {
+			d.attGCSvc[i] = 0
+		}
 	}
 
 	groups := d.groupByDie(ops)
@@ -276,7 +310,21 @@ func (d *Device) Submit(at sim.Time, ops []PageOp) sim.Time {
 		if len(a.ops) > 1 {
 			multiplane = true
 		}
+		if attributing {
+			gc := true
+			for _, op := range a.ops {
+				if !op.GC {
+					gc = false
+					break
+				}
+			}
+			d.attActGC = gc
+			d.att.StartActivation(gc)
+		}
 		done := d.execActivation(issue, a)
+		if attributing {
+			d.att.EndActivation(done)
+		}
 		end = sim.MaxTime(end, done)
 	}
 
@@ -424,6 +472,24 @@ func (d *Device) chargeChanWait(c int, from, start sim.Time) {
 	}
 }
 
+// attEntryWait attributes a chain's entry die-wait, splitting out the
+// portion induced by this request's own collection service on the die (an
+// exact re-labeling: the two segments sum to the original wait). GC chains
+// never split against themselves — their whole chain folds on commit.
+func (d *Device) attEntryWait(dieIdx int, wait sim.Time) {
+	if wait <= 0 {
+		return
+	}
+	if gc := d.attGCSvc[dieIdx]; gc > 0 && !d.attActGC {
+		if gc > wait {
+			gc = wait
+		}
+		d.att.Seg(attrib.GC, gc)
+		wait -= gc
+	}
+	d.att.Seg(attrib.DieWait, wait)
+}
+
 // execActivation schedules one cell activation (1..Planes page ops on a
 // single die) and returns its completion time, accumulating the six-state
 // breakdown along the way.
@@ -433,6 +499,7 @@ func (d *Device) execActivation(issue sim.Time, a activation) sim.Time {
 	cmd := d.Bus.CommandTime()
 	reg := d.regTime()
 	xfer := d.Bus.TransferTime(d.Cell.PageSize)
+	dieIdx := a.loc.Channel*d.Geo.DiesPerChannel() + a.loc.Die
 
 	// Trace tracks: one "thread" per die and per channel bus. Names are
 	// built only when a live probe will consume the spans.
@@ -442,6 +509,10 @@ func (d *Device) execActivation(issue sim.Time, a activation) sim.Time {
 		dieTrack = fmt.Sprintf("ch%02d/die%02d", a.loc.Channel, a.loc.Die)
 		busTrack = fmt.Sprintf("ch%02d/bus", a.loc.Channel)
 	}
+	attributing := d.att.DeviceActive()
+	// All-GC activations bank their die occupancy so that later host chains
+	// in the same request can re-label the wait they induce (attEntryWait).
+	gcAcc := attributing && d.attActGC
 
 	switch a.ops[0].Op {
 	case OpRead:
@@ -455,6 +526,13 @@ func (d *Device) execActivation(issue sim.Time, a activation) sim.Time {
 		d.chargeDieWait(a.loc.Channel, a.loc.Die, issue, as)
 		d.breakdown.CellActivation += d.Cell.ReadLatency
 		d.markDie(a.loc.Channel, a.loc.Die, as, ae)
+		if attributing {
+			d.attEntryWait(dieIdx, as-issue)
+		}
+		d.att.Seg(attrib.DieService, ae-as)
+		if gcAcc {
+			d.attGCSvc[dieIdx] += ae - as
+		}
 		if probing {
 			d.probe.Span(obs.LayerNVM, dieTrack, "sense", as, ae)
 		}
@@ -475,6 +553,11 @@ func (d *Device) execActivation(issue sim.Time, a activation) sim.Time {
 				d.breakdown.CellActivation += step
 				d.markDie(a.loc.Channel, a.loc.Die, rs, re)
 				d.hRetry.Observe(step)
+				d.att.Seg(attrib.DieWait, rs-ae)
+				d.att.Seg(attrib.Retry, re-rs)
+				if gcAcc {
+					d.attGCSvc[dieIdx] += re - rs
+				}
 				if probing {
 					d.probe.Span(obs.LayerNVM, dieTrack, "read-retry", rs, re,
 						obs.Attr{Key: "retries", Value: retries})
@@ -485,14 +568,28 @@ func (d *Device) execActivation(issue sim.Time, a activation) sim.Time {
 		// Per merged page: register staging then data-out then DMA. In cache
 		// mode the staging drains from the secondary register, leaving the
 		// die free to sense the next page immediately.
+		//
+		// For attribution the critical page is the one completing the
+		// activation (the first page reaching the maximum DMA end, matching
+		// sim.MaxTime keeping the first maximum); its chain from the
+		// post-sense instant — staging, bus wait, bus transfer, host-link
+		// time — telescopes exactly to the activation's completion. Staging
+		// is contiguous within an activation (the die horizon equals the
+		// previous staging's end, trivially so in cache mode), so the
+		// critical page's staging total is just its staging end minus ae.
 		end := ae
 		cursor := ae
+		var critStage, critBusW, critBusX, critLink sim.Time
+		critEnd := ae
 		for range a.ops {
 			var rs, re sim.Time
 			if d.cacheMode {
 				rs, re = cursor, cursor+reg
 			} else {
 				rs, re = die.Acquire(cursor, reg)
+				if gcAcc {
+					d.attGCSvc[dieIdx] += re - rs
+				}
 			}
 			d.breakdown.FlashBus += reg
 			d.markDie(a.loc.Channel, a.loc.Die, rs, re)
@@ -506,10 +603,32 @@ func (d *Device) execActivation(issue sim.Time, a activation) sim.Time {
 			}
 			de := d.link.Transfer(xe, d.Cell.PageSize)
 			d.breakdown.NonOverlappedDMA += de - xe
+			if attributing && de > critEnd {
+				critEnd = de
+				critStage = re - ae
+				critBusW = xs - re
+				critBusX = xe - xs
+				critLink = de - xe
+			}
 			cursor = re
 			end = sim.MaxTime(end, de)
 			d.cBytesRd.Add(d.Cell.PageSize)
 			d.cReads.Inc()
+		}
+		if attributing && critEnd > ae {
+			d.att.Seg(attrib.DieService, critStage)
+			d.att.Seg(attrib.BusWait, critBusW)
+			d.att.Seg(attrib.BusXfer, critBusX)
+			// The host-link time splits into pure wire time and queueing
+			// behind other transfers; for multi-stage Chain links the wire
+			// bound is the bottleneck stage's, so the split (only) is
+			// approximate there — the sum stays exact.
+			wire := sim.DurationForBytes(d.Cell.PageSize, d.link.BytesPerSec())
+			if wire > critLink {
+				wire = critLink
+			}
+			d.att.Seg(attrib.LinkXfer, wire)
+			d.att.Seg(attrib.LinkWait, critLink-wire)
 		}
 		return end
 
@@ -520,6 +639,18 @@ func (d *Device) execActivation(issue sim.Time, a activation) sim.Time {
 			dmaEnd = d.link.Transfer(dmaEnd, d.Cell.PageSize)
 		}
 		d.breakdown.NonOverlappedDMA += dmaEnd - issue
+		if attributing {
+			// Host DMA: pure wire time for the payload, the rest is
+			// queueing behind other transfers on the shared link.
+			total := dmaEnd - issue
+			wire := sim.Time(len(a.ops)) * sim.DurationForBytes(d.Cell.PageSize, d.link.BytesPerSec())
+			if wire > total {
+				wire = total
+			}
+			d.att.Seg(attrib.LinkXfer, wire)
+			d.att.Seg(attrib.LinkWait, total-wire)
+			d.att.Seg(attrib.BusXfer, cmd)
+		}
 		// Command/address cycles are folded into the first data-in transfer
 		// (see the read path for why they do not book the bus horizon).
 		d.breakdown.ChannelBus += cmd
@@ -529,7 +660,12 @@ func (d *Device) execActivation(issue sim.Time, a activation) sim.Time {
 			d.chargeChanWait(a.loc.Channel, cursor, xs)
 			d.breakdown.ChannelBus += xfer
 			d.markChan(a.loc.Channel, xs, xe)
+			d.att.Seg(attrib.BusWait, xs-cursor)
+			d.att.Seg(attrib.BusXfer, xe-xs)
 			rs, re := die.Acquire(xe, reg)
+			if gcAcc {
+				d.attGCSvc[dieIdx] += re - rs
+			}
 			d.breakdown.FlashBus += reg
 			d.markDie(a.loc.Channel, a.loc.Die, rs, re)
 			if probing {
@@ -546,6 +682,15 @@ func (d *Device) execActivation(issue sim.Time, a activation) sim.Time {
 		d.chargeDieWait(a.loc.Channel, a.loc.Die, cursor, ps)
 		d.breakdown.CellActivation += lat
 		d.markDie(a.loc.Channel, a.loc.Die, ps, pe)
+		// The wait covers the register-staging drain of this activation's
+		// own data-in as well as earlier activations on the die.
+		if attributing {
+			d.attEntryWait(dieIdx, ps-cursor)
+		}
+		d.att.Seg(attrib.DieService, pe-ps)
+		if gcAcc {
+			d.attGCSvc[dieIdx] += pe - ps
+		}
 		if probing {
 			d.probe.Span(obs.LayerNVM, dieTrack, "program", ps, pe)
 		}
@@ -562,6 +707,13 @@ func (d *Device) execActivation(issue sim.Time, a activation) sim.Time {
 		d.chargeDieWait(a.loc.Channel, a.loc.Die, issue, es)
 		d.breakdown.CellActivation += d.Cell.EraseLatency
 		d.markDie(a.loc.Channel, a.loc.Die, es, ee)
+		if attributing {
+			d.attEntryWait(dieIdx, es-issue)
+		}
+		d.att.Seg(attrib.DieService, ee-es)
+		if gcAcc {
+			d.attGCSvc[dieIdx] += ee - es
+		}
 		if probing {
 			d.probe.Span(obs.LayerNVM, dieTrack, "erase", es, ee)
 		}

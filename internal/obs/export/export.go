@@ -1,8 +1,9 @@
 // Package export is the shared observability flag plumbing of the CLIs.
-// Every command takes the same four flags (-trace-out, -metrics-out,
-// -report-out, -sample-us); this package registers them once, builds the
-// collector/sampler pair they imply, and writes every requested artifact the
-// same way — instead of each main duplicating the logic.
+// Every command takes the same observability flags (-trace-out,
+// -metrics-out, -report-out, -sample-us, -attrib, -attrib-out, -attrib-top,
+// -cpuprofile, -memprofile); this package registers them once, builds the
+// collector/sampler/recorder set they imply, and writes every requested
+// artifact the same way — instead of each main duplicating the logic.
 package export
 
 import (
@@ -10,9 +11,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"oocnvm/internal/obs"
+	"oocnvm/internal/obs/attrib"
 	"oocnvm/internal/obs/report"
 	"oocnvm/internal/obs/timeseries"
 	"oocnvm/internal/sim"
@@ -29,6 +33,17 @@ type Flags struct {
 	ReportOut string
 	// SampleUS is the telemetry sampling interval in simulated microseconds.
 	SampleUS int64
+	// Attrib prints the per-request latency-attribution breakdown table
+	// (critical-path component ranking) on the command's output.
+	Attrib bool
+	// AttribOut writes the top-K slow-request exemplar anatomy as CSV.
+	AttribOut string
+	// AttribTop is the slow-request exemplar capacity (top-K).
+	AttribTop int
+	// CPUProfile/MemProfile write runtime/pprof profiles of the process
+	// (real compute, not simulated time) for the zero-alloc work.
+	CPUProfile string
+	MemProfile string
 }
 
 // DefaultSampleUS is the default sampling interval: fine enough to resolve
@@ -45,11 +60,23 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 		"write a self-contained HTML experiment report (plus a .csv of every sampled series)")
 	fs.Int64Var(&f.SampleUS, "sample-us", DefaultSampleUS,
 		"telemetry sampling interval in simulated microseconds (report timelines)")
+	fs.BoolVar(&f.Attrib, "attrib", false,
+		"print the per-request latency attribution breakdown (critical-path components)")
+	fs.StringVar(&f.AttribOut, "attrib-out", "",
+		"write the top-K slow-request latency anatomy as CSV")
+	fs.IntVar(&f.AttribTop, "attrib-top", attrib.DefaultTopK,
+		"slow-request exemplar count kept for -attrib-out and report waterfalls")
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "",
+		"write a runtime/pprof CPU profile of the process to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "",
+		"write a runtime/pprof heap profile of the process to this file")
 }
 
-// Enabled reports whether any export was requested.
+// Enabled reports whether any export needing a metrics collector was
+// requested.
 func (f *Flags) Enabled() bool {
-	return f.TraceOut != "" || f.MetricsOut != "" || f.ReportOut != ""
+	return f.TraceOut != "" || f.MetricsOut != "" || f.ReportOut != "" ||
+		f.Attrib || f.AttribOut != ""
 }
 
 // Collector returns a fresh collector when any export needs one, nil
@@ -74,6 +101,61 @@ func (f *Flags) Sampler() *timeseries.Sampler {
 	return timeseries.NewSampler(sim.Time(us)*sim.Microsecond, 0)
 }
 
+// Recorder returns a fresh latency-attribution recorder when attribution
+// output was requested (-attrib, -attrib-out, or an HTML report, whose
+// waterfall section it feeds), nil otherwise. When col is non-nil the
+// recorder's per-component histograms are created in its registry.
+func (f *Flags) Recorder(col *obs.Collector) *attrib.Recorder {
+	if !f.Attrib && f.AttribOut == "" && f.ReportOut == "" {
+		return nil
+	}
+	rec := attrib.NewRecorder(f.AttribTop)
+	if col != nil {
+		rec.BindRegistry(col.Reg)
+	}
+	return rec
+}
+
+// StartProfiles begins the requested runtime/pprof captures and returns a
+// stop function that finishes them (ends the CPU profile, snapshots the
+// heap). The stop function is safe to call when no profile was requested.
+func (f *Flags) StartProfiles() (stop func() error, err error) {
+	var cpuFile *os.File
+	if f.CPUProfile != "" {
+		cpuFile, err = os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if f.MemProfile != "" {
+			mf, err := os.Create(f.MemProfile)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // settle allocations so the heap profile is stable
+			if err := pprof.Lookup("allocs").WriteTo(mf, 0); err != nil {
+				mf.Close()
+				return err
+			}
+			if err := mf.Close(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}
+
 // ReportCSVPath derives the series-CSV path from the report path:
 // report.html -> report.csv, anything else gets .csv appended.
 func ReportCSVPath(reportOut string) string {
@@ -83,11 +165,12 @@ func ReportCSVPath(reportOut string) string {
 	return reportOut + ".csv"
 }
 
-// Write emits every requested artifact: the per-stage latency table on w,
-// then the trace, metrics, report HTML and report CSV files, each confirmed
-// with one line on w. col and samp may each be nil (that export is skipped);
-// info feeds the report's header sections.
-func (f *Flags) Write(w io.Writer, col *obs.Collector, samp *timeseries.Sampler, info report.RunInfo) error {
+// Write emits every requested artifact: the per-stage latency table and the
+// attribution breakdown on w, then the trace, metrics, attribution CSV,
+// report HTML and report CSV files, each confirmed with one line on w. col,
+// samp and rec may each be nil (that export is skipped); info feeds the
+// report's header sections, and the recorder's summary feeds its waterfall.
+func (f *Flags) Write(w io.Writer, col *obs.Collector, samp *timeseries.Sampler, rec *attrib.Recorder, info report.RunInfo) error {
 	snap := obs.Snapshot{}
 	if col != nil {
 		col.SyncTracerMetrics()
@@ -105,6 +188,30 @@ func (f *Flags) Write(w io.Writer, col *obs.Collector, samp *timeseries.Sampler,
 				return err
 			}
 			fmt.Fprintf(w, "metrics written to %s\n", f.MetricsOut)
+		}
+	}
+	var sum attrib.Summary
+	if rec != nil {
+		sum = rec.Summary()
+		if info.Attrib == nil {
+			info.Attrib = &sum
+		}
+		if f.Attrib {
+			fmt.Fprint(w, sum.FormatTable())
+		}
+		if f.AttribOut != "" {
+			af, err := os.Create(f.AttribOut)
+			if err != nil {
+				return err
+			}
+			if err := sum.WriteCSV(af); err != nil {
+				af.Close()
+				return err
+			}
+			if err := af.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "attribution written to %s (%d exemplars)\n", f.AttribOut, len(sum.Exemplars))
 		}
 	}
 	if f.ReportOut != "" {

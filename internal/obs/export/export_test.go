@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"oocnvm/internal/obs"
+	"oocnvm/internal/obs/attrib"
 	"oocnvm/internal/obs/report"
 	"oocnvm/internal/sim"
 )
@@ -84,7 +85,7 @@ func TestWriteEmitsEveryArtifact(t *testing.T) {
 	samp.Advance(sim.Millisecond)
 
 	var out bytes.Buffer
-	if err := f.Write(&out, col, samp, report.RunInfo{
+	if err := f.Write(&out, col, samp, nil, report.RunInfo{
 		Title:  "export test",
 		Params: [][2]string{{"seed", "42"}},
 	}); err != nil {
@@ -122,7 +123,7 @@ func TestWriteWithNilCollectorAndSampler(t *testing.T) {
 	dir := t.TempDir()
 	f := Flags{ReportOut: filepath.Join(dir, "r.html")}
 	var out bytes.Buffer
-	if err := f.Write(&out, nil, nil, report.RunInfo{Title: "empty"}); err != nil {
+	if err := f.Write(&out, nil, nil, nil, report.RunInfo{Title: "empty"}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(f.ReportOut); err != nil {
@@ -134,5 +135,104 @@ func TestWriteWithNilCollectorAndSampler(t *testing.T) {
 	}
 	if strings.TrimSpace(string(csv)) != "series,kind,t_ps,value" {
 		t.Fatalf("nil-sampler CSV = %q", string(csv))
+	}
+}
+
+func TestRecorderGating(t *testing.T) {
+	var f Flags
+	if f.Recorder(nil) != nil {
+		t.Fatal("recorder built with no attribution output requested")
+	}
+	for _, set := range []func(*Flags){
+		func(f *Flags) { f.Attrib = true },
+		func(f *Flags) { f.AttribOut = "a.csv" },
+		func(f *Flags) { f.ReportOut = "r.html" },
+	} {
+		g := Flags{AttribTop: 4}
+		set(&g)
+		if g.Recorder(nil) == nil {
+			t.Fatalf("recorder missing for %+v", g)
+		}
+	}
+	// Binding against a collector lands the attribution histograms in its
+	// registry.
+	g := Flags{Attrib: true, AttribTop: 4}
+	col := obs.NewCollector()
+	rec := g.Recorder(col)
+	rec.Begin(0, 0, 4096, 0)
+	rec.Note(attrib.Queue, sim.Microsecond)
+	rec.Commit(sim.Microsecond)
+	found := false
+	for _, h := range col.Reg.Snapshot().Histograms {
+		if h.Name == "attrib.e2e" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("attrib.e2e histogram not bound into the collector registry")
+	}
+}
+
+func TestWriteAttributionArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	f := Flags{Attrib: true, AttribOut: filepath.Join(dir, "anatomy.csv"), AttribTop: 4}
+	rec := f.Recorder(nil)
+	rec.Begin(0, 0, 4096, 0)
+	rec.Note(attrib.Queue, 2*sim.Microsecond)
+	rec.Note(attrib.LinkXfer, sim.Microsecond)
+	rec.Commit(3 * sim.Microsecond)
+
+	var out bytes.Buffer
+	if err := f.Write(&out, nil, nil, rec, report.RunInfo{Title: "attrib"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "latency attribution") {
+		t.Fatalf("breakdown table missing from -attrib output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "attribution written to") {
+		t.Fatalf("CSV confirmation missing:\n%s", out.String())
+	}
+	csv, err := os.ReadFile(f.AttribOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "id,kind,offset,size,arrive_ps,end_ps,latency_ps,queue_ps") {
+		t.Fatalf("attribution CSV header wrong: %q", strings.SplitN(string(csv), "\n", 2)[0])
+	}
+	if lines := strings.Count(strings.TrimSpace(string(csv)), "\n"); lines != 1 {
+		t.Fatalf("attribution CSV rows = %d, want 1", lines)
+	}
+}
+
+func TestStartProfilesWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	f := Flags{
+		CPUProfile: filepath.Join(dir, "cpu.pprof"),
+		MemProfile: filepath.Join(dir, "mem.pprof"),
+	}
+	stop, err := f.StartProfiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{f.CPUProfile, f.MemProfile} {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if len(b) == 0 {
+			t.Fatalf("profile %s empty", p)
+		}
+	}
+	// No profiles requested: stop is a no-op that must not error.
+	var g Flags
+	stop, err = g.StartProfiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
 	}
 }

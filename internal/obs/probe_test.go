@@ -102,6 +102,13 @@ func TestSyncTracerMetrics(t *testing.T) {
 	if got := c.Reg.Counter("obs.trace.dropped_spans").Value(); got != 3 {
 		t.Fatalf("obs.trace.dropped_spans = %d, want 3", got)
 	}
+	// Later drops keep flowing through on the next sync: the counters track
+	// the tracer's live totals, they are not a one-shot snapshot.
+	c.Span(LayerSSD, "t", "op", 5, 6)
+	c.SyncTracerMetrics()
+	if got := c.Reg.Counter("obs.trace.dropped_spans").Value(); got != 4 {
+		t.Fatalf("obs.trace.dropped_spans after more drops = %d, want 4", got)
+	}
 	// Nil parts tolerated.
 	(&Collector{Reg: NewRegistry()}).SyncTracerMetrics()
 	(&Collector{Tr: NewTracer()}).SyncTracerMetrics()

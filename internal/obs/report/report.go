@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"oocnvm/internal/obs"
+	"oocnvm/internal/obs/attrib"
 	"oocnvm/internal/obs/timeseries"
 	"oocnvm/internal/sim"
 )
@@ -26,6 +27,9 @@ type RunInfo struct {
 	// FaultSummary is the preformatted reliability summary, empty when the
 	// run injected no faults.
 	FaultSummary string
+	// Attrib, when set, adds the latency-anatomy section: the per-component
+	// breakdown table and the slow-request waterfall.
+	Attrib *attrib.Summary
 }
 
 // chart geometry (SVG user units).
@@ -49,6 +53,7 @@ func WriteHTML(w io.Writer, info RunInfo, snap obs.Snapshot, dump timeseries.Dum
 	writeHeader(&b, info, dump)
 	writeTimelines(&b, dump)
 	writeSeriesSummary(&b, dump)
+	writeAttrib(&b, info.Attrib)
 	writeLatencyTable(&b, snap)
 	writeCounters(&b, snap)
 	if info.FaultSummary != "" {
@@ -82,6 +87,14 @@ func writeHead(b *strings.Builder, title string) {
   --baseline:       #c3c2b7;
   --border:         rgba(11,11,11,0.10);
   --series-1:       #2a78d6;
+  --series-2:       #eb6834;
+  --series-3:       #1baf7a;
+  --series-4:       #eda100;
+  --series-5:       #e87ba4;
+  --series-6:       #008300;
+  --series-7:       #4a3aa7;
+  --series-8:       #e34948;
+  --series-other:   #a8a69e;
 }
 @media (prefers-color-scheme: dark) {
   :root:where(:not([data-theme="light"])) .viz-root {
@@ -95,6 +108,14 @@ func writeHead(b *strings.Builder, title string) {
     --baseline:       #383835;
     --border:         rgba(255,255,255,0.10);
     --series-1:       #3987e5;
+    --series-2:       #d95926;
+    --series-3:       #199e70;
+    --series-4:       #c98500;
+    --series-5:       #d55181;
+    --series-6:       #008300;
+    --series-7:       #9085e9;
+    --series-8:       #e66767;
+    --series-other:   #6f6e69;
   }
 }
 :root[data-theme="dark"] .viz-root {
@@ -108,6 +129,14 @@ func writeHead(b *strings.Builder, title string) {
   --baseline:       #383835;
   --border:         rgba(255,255,255,0.10);
   --series-1:       #3987e5;
+  --series-2:       #d95926;
+  --series-3:       #199e70;
+  --series-4:       #c98500;
+  --series-5:       #d55181;
+  --series-6:       #008300;
+  --series-7:       #9085e9;
+  --series-8:       #e66767;
+  --series-other:   #6f6e69;
 }
 body.viz-root {
   margin: 0;
@@ -140,6 +169,12 @@ pre {
   background: var(--surface-1); border: 1px solid var(--border);
   border-radius: 8px; padding: 12px; overflow-x: auto; font-size: 12px;
 }
+.legend { color: var(--text-secondary); font-size: 12px; margin: 0 0 8px; }
+.legend .sw {
+  display: inline-block; width: 10px; height: 10px; border-radius: 2px;
+  margin: 0 5px 0 12px; vertical-align: -1px;
+}
+.legend .sw:first-child { margin-left: 0; }
 </style>
 </head>
 <body class="viz-root">
@@ -374,6 +409,178 @@ func writeLatencyTable(b *strings.Builder, snap obs.Snapshot) {
 			html.EscapeString(sim.Time(h.P99Ps).String()), html.EscapeString(sim.Time(h.SumPs).String()))
 	}
 	b.WriteString("</table></section>\n")
+}
+
+// waterfall geometry (SVG user units).
+const (
+	wfLabelX = 4   // request label anchor
+	wfX0     = 150 // bar origin
+	wfX1     = 642 // bar extent at the slowest exemplar
+	wfValueX = 650 // direct latency label anchor
+	wfRowH   = 24
+	wfBarH   = 14
+	wfTopPad = 6
+	wfGap    = 2 // surface gap between stacked segments
+)
+
+// attribSlots maps each component with latency mass onto a fixed palette
+// slot in taxonomy order, so a component wears the same hue in every chart
+// of the run (color follows the entity, never its rank). Slots run 1..8;
+// components beyond the 8 hues fold into the muted "other" fill (-1); 0
+// marks a component absent from this run.
+func attribSlots(sum *attrib.Summary) (slot [attrib.NumComponents]int) {
+	n := 0
+	for c := range sum.Totals {
+		if sum.Totals[c] > 0 {
+			n++
+			if n <= 8 {
+				slot[c] = n
+			} else {
+				slot[c] = -1
+			}
+		}
+	}
+	return slot
+}
+
+func slotFill(slot int) string {
+	if slot < 0 {
+		return "var(--series-other)"
+	}
+	return fmt.Sprintf("var(--series-%d)", slot)
+}
+
+// writeAttrib renders the latency-anatomy section: the per-component
+// breakdown table (the accessible table view of the waterfall) and one
+// stacked horizontal bar per slow-request exemplar.
+func writeAttrib(b *strings.Builder, sum *attrib.Summary) {
+	if sum == nil || sum.Requests == 0 {
+		return
+	}
+	b.WriteString("<h2>Latency anatomy</h2>\n")
+	writeAttribTable(b, sum)
+	writeWaterfall(b, sum)
+}
+
+func writeAttribTable(b *strings.Builder, sum *attrib.Summary) {
+	slot := attribSlots(sum)
+	fmt.Fprintf(b, "<section class=\"card\">\n<p class=\"chart-title\">Component breakdown</p>\n<p class=\"chart-sub\">%d requests · total latency %s · conservation residual %s</p>\n",
+		sum.Requests, html.EscapeString(sum.TotalLatency.String()),
+		html.EscapeString(sum.MaxResidual.String()))
+	if sum.Violations > 0 {
+		fmt.Fprintf(b, "<p class=\"chart-sub\">CONSERVATION VIOLATED on %d requests</p>\n", sum.Violations)
+	}
+	b.WriteString("<table>\n<tr><th>component</th><th class=\"num\">total</th><th class=\"num\">share</th><th class=\"num\">dominates</th></tr>\n")
+	for _, c := range sum.Ranked() {
+		share := 0.0
+		if sum.TotalLatency > 0 {
+			share = float64(sum.Totals[c]) / float64(sum.TotalLatency) * 100
+		}
+		fmt.Fprintf(b, "<tr><td><span class=\"sw\" style=\"background:%s;display:inline-block;width:10px;height:10px;border-radius:2px;margin-right:6px;vertical-align:-1px\"></span>%s</td><td class=\"num\">%s</td><td class=\"num\">%.1f%%</td><td class=\"num\">%d</td></tr>\n",
+			slotFill(slot[c]), html.EscapeString(c.String()),
+			html.EscapeString(sum.Totals[c].String()), share, sum.Dominant[c])
+	}
+	b.WriteString("</table></section>\n")
+}
+
+func writeWaterfall(b *strings.Builder, sum *attrib.Summary) {
+	if len(sum.Exemplars) == 0 {
+		return
+	}
+	slot := attribSlots(sum)
+	maxLat := sum.Exemplars[0].Latency()
+	for _, ex := range sum.Exemplars {
+		if ex.Latency() > maxLat {
+			maxLat = ex.Latency()
+		}
+	}
+	if maxLat <= 0 {
+		return
+	}
+
+	fmt.Fprintf(b, "<section class=\"card\">\n<p class=\"chart-title\">Slowest requests</p>\n<p class=\"chart-sub\">top %d by end-to-end latency · bar length scaled to the slowest</p>\n",
+		len(sum.Exemplars))
+	// Legend: identity never rides on color alone — names beside swatches,
+	// and each segment also carries a tooltip.
+	b.WriteString("<p class=\"legend\">")
+	folded := false
+	for c := range sum.Totals {
+		switch {
+		case slot[c] > 0:
+			fmt.Fprintf(b, "<span class=\"sw\" style=\"background:%s\"></span>%s",
+				slotFill(slot[c]), html.EscapeString(attrib.Component(c).String()))
+		case slot[c] < 0:
+			folded = true
+		}
+	}
+	if folded {
+		fmt.Fprintf(b, "<span class=\"sw\" style=\"background:var(--series-other)\"></span>other")
+	}
+	b.WriteString("</p>\n")
+
+	h := wfTopPad + len(sum.Exemplars)*wfRowH
+	fmt.Fprintf(b, "<svg viewBox=\"0 0 %d %d\" role=\"img\" aria-label=\"latency waterfall of the slowest requests\">\n",
+		chartW, h)
+	scale := float64(wfX1-wfX0) / float64(maxLat)
+	for i, ex := range sum.Exemplars {
+		rowY := float64(wfTopPad + i*wfRowH)
+		barY := rowY + float64(wfRowH-wfBarH)/2
+		midY := barY + float64(wfBarH)/2
+		fmt.Fprintf(b, "<text x=\"%d\" y=\"%s\" fill=\"var(--text-secondary)\" font-size=\"11\" dominant-baseline=\"middle\">#%d %s %s</text>\n",
+			wfLabelX, f2(midY), ex.ID, html.EscapeString(attrib.KindName(ex.Kind)),
+			html.EscapeString(fmtBytes(ex.Size)))
+		x := float64(wfX0)
+		var otherDur sim.Time
+		for c, d := range ex.Comp {
+			if d <= 0 || slot[c] == 0 {
+				continue
+			}
+			if slot[c] < 0 {
+				otherDur += d
+				continue
+			}
+			w := float64(d) * scale
+			x = wfSegment(b, x, barY, w, slotFill(slot[c]),
+				fmt.Sprintf("#%d %s · %v %s (%.1f%%)", ex.ID, attrib.KindName(ex.Kind),
+					attrib.Component(c), d, float64(d)/float64(ex.Latency())*100))
+		}
+		if otherDur > 0 {
+			x = wfSegment(b, x, barY, float64(otherDur)*scale, "var(--series-other)",
+				fmt.Sprintf("#%d %s · other %s", ex.ID, attrib.KindName(ex.Kind), otherDur))
+		}
+		fmt.Fprintf(b, "<text x=\"%d\" y=\"%s\" fill=\"var(--text-secondary)\" font-size=\"11\" dominant-baseline=\"middle\">%s</text>\n",
+			wfValueX, f2(midY), html.EscapeString(ex.Latency().String()))
+	}
+	b.WriteString("</svg>\n</section>\n")
+}
+
+// wfSegment draws one waterfall segment at x, trimming the 2px surface gap
+// from its right edge so adjacent fills never touch, and returns the next
+// segment's origin. Sub-gap segments keep a hairline, capped at their true
+// width so they can never bleed into the neighbor.
+func wfSegment(b *strings.Builder, x, y, w float64, fill, tip string) float64 {
+	draw := w - wfGap
+	if draw < 0.5 {
+		draw = 0.5
+		if draw > w {
+			draw = w
+		}
+	}
+	fmt.Fprintf(b, "<rect x=\"%s\" y=\"%s\" width=\"%s\" height=\"%d\" rx=\"1\" fill=\"%s\"><title>%s</title></rect>\n",
+		f2(x), f2(y), f2(draw), wfBarH, fill, html.EscapeString(tip))
+	return x + w
+}
+
+// fmtBytes renders a request size compactly (sizes are power-of-two block
+// multiples, so integer KiB/MiB cover every case).
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMiB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKiB", n>>10)
+	}
+	return fmt.Sprintf("%dB", n)
 }
 
 func writeCounters(b *strings.Builder, snap obs.Snapshot) {

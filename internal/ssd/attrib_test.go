@@ -1,0 +1,183 @@
+package ssd
+
+import (
+	"testing"
+
+	"oocnvm/internal/fault"
+	"oocnvm/internal/ftl"
+	"oocnvm/internal/interconnect"
+	"oocnvm/internal/nvm"
+	"oocnvm/internal/obs/attrib"
+	"oocnvm/internal/sim"
+	"oocnvm/internal/trace"
+)
+
+// attribConfig builds an FTL-backed stack on a real PCIe link (so link
+// wait/transfer components are exercised) with an attribution recorder.
+func attribConfig(t *testing.T, cell nvm.CellType, geo nvm.Geometry) (Config, *attrib.Recorder) {
+	t.Helper()
+	cp := nvm.Params(cell)
+	f, err := ftl.New(geo, cp, ftl.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := attrib.NewRecorder(8)
+	return Config{
+		Geometry:   geo,
+		Cell:       cp,
+		Bus:        nvm.ONFi3SDR(),
+		Link:       interconnect.NewPCIeLine(interconnect.PCIeConfig{Gen: interconnect.PCIeGen2, Lanes: 8}),
+		Translator: f,
+		Seed:       7,
+		Attrib:     rec,
+	}, rec
+}
+
+func mixedOps(capacity int64) []trace.BlockOp {
+	var ops []trace.BlockOp
+	req := int64(256 << 10)
+	for i := int64(0); i < 200; i++ {
+		off := (i * 7 % (capacity / req)) * req
+		kind := trace.Read
+		if i%3 == 1 {
+			kind = trace.Write
+		}
+		ops = append(ops, trace.BlockOp{Kind: kind, Offset: off, Size: req, Sync: i%17 == 16})
+	}
+	return ops
+}
+
+// assertConserved checks the stack-level conservation invariant on a
+// finished recorder: zero violations, zero residual on every exemplar.
+func assertConserved(t *testing.T, rec *attrib.Recorder, wantRequests int64) attrib.Summary {
+	t.Helper()
+	sum := rec.Summary()
+	if sum.Requests != wantRequests {
+		t.Fatalf("attributed %d requests, want %d", sum.Requests, wantRequests)
+	}
+	if sum.Violations != 0 {
+		t.Fatalf("conservation violated on %d requests (max residual %v)",
+			sum.Violations, sum.MaxResidual)
+	}
+	for _, ex := range sum.Exemplars {
+		if r := ex.Residual(); r != 0 {
+			t.Fatalf("exemplar %d residual = %v: %+v", ex.ID, r, ex.Comp)
+		}
+		for c, d := range ex.Comp {
+			if d < 0 {
+				t.Fatalf("exemplar %d component %v negative: %v", ex.ID, attrib.Component(c), d)
+			}
+		}
+	}
+	return sum
+}
+
+func TestAttribConservationMixedWorkload(t *testing.T) {
+	geo := nvm.PaperGeometry()
+	cfg, rec := attribConfig(t, nvm.TLC, geo)
+	s := newSSD(t, cfg)
+	ops := mixedOps(geo.Capacity(cfg.Cell))
+	s.Replay(ops)
+	sum := assertConserved(t, rec, int64(len(ops)))
+	// The whole latency mass must be accounted for somewhere.
+	var total sim.Time
+	for _, d := range sum.Totals {
+		total += d
+	}
+	if sum.TotalLatency != total {
+		t.Fatalf("component mass %v != total latency %v", total, sum.TotalLatency)
+	}
+	for _, c := range []attrib.Component{attrib.Queue, attrib.DieService, attrib.LinkWait} {
+		if sum.Totals[c] == 0 {
+			t.Fatalf("component %v never observed on a mixed workload", c)
+		}
+	}
+}
+
+func TestAttribConservationGCHeavy(t *testing.T) {
+	// A tiny device overwritten several times over forces superblock GC;
+	// relocation chains that win the critical path must fold into the GC
+	// component without breaking conservation.
+	geo := nvm.Geometry{Channels: 2, PackagesPerChannel: 2, DiesPerPackage: 1, BlocksPerPlane: 6}
+	cfg, rec := attribConfig(t, nvm.MLC, geo)
+	s := newSSD(t, cfg)
+	capacity := geo.Capacity(cfg.Cell)
+	req := int64(128 << 10)
+	hot := capacity / 2 / req
+	var ops []trace.BlockOp
+	for i := int64(0); i*req < 4*capacity; i++ {
+		ops = append(ops, trace.BlockOp{Kind: trace.Write, Offset: (i % hot) * req, Size: req})
+	}
+	s.Replay(ops)
+	sum := assertConserved(t, rec, int64(len(ops)))
+	if sum.Totals[attrib.GC] == 0 {
+		t.Fatal("GC stall time never attributed on a GC-heavy overwrite workload")
+	}
+}
+
+func TestAttribConservationUnderFaults(t *testing.T) {
+	// End-of-life media exercises the exceptional components: read-retry
+	// ladders and grown-bad-block recovery. Conservation must hold even
+	// when the drive splices recovery relocation into request completion.
+	prof, err := fault.ForName("eol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := faultedConfig(t, nvm.TLC, prof, 0)
+	rec := attrib.NewRecorder(8)
+	cfg.Attrib = rec
+	s := newSSD(t, cfg)
+	var ops []trace.BlockOp
+	for i := int64(0); i < 96; i++ {
+		ops = append(ops, trace.BlockOp{Kind: trace.Read, Offset: i * (1 << 20), Size: 512 << 10})
+	}
+	res := s.Replay(ops)
+	sum := assertConserved(t, rec, int64(len(ops)))
+	if res.Faults.Retried == 0 {
+		t.Fatalf("eol run produced no retries: %+v", res.Faults)
+	}
+	if sum.Totals[attrib.Retry] == 0 {
+		t.Fatal("retry latency never attributed under eol faults")
+	}
+}
+
+func TestAttribOffLeavesResultsIdentical(t *testing.T) {
+	run := func(attach bool) Result {
+		geo := nvm.PaperGeometry()
+		cfg, _ := attribConfig(t, nvm.TLC, geo)
+		if !attach {
+			cfg.Attrib = nil
+		}
+		s := newSSD(t, cfg)
+		return s.Replay(mixedOps(geo.Capacity(cfg.Cell)))
+	}
+	off, on := run(false), run(true)
+	if off.Elapsed != on.Elapsed || off.Bandwidth != on.Bandwidth || off.Stats != on.Stats {
+		t.Fatalf("attribution changed the simulation: off=%+v on=%+v", off, on)
+	}
+}
+
+// TestSubmitAttribSteadyStateAllocs pins the free-list guarantee at the
+// stack level: with a recorder attached and its exemplar heap warm,
+// attribution adds zero heap allocations per Submit on top of whatever the
+// bare stack already does for the same op.
+func TestSubmitAttribSteadyStateAllocs(t *testing.T) {
+	measure := func(attach bool) float64 {
+		cfg := testConfig(nvm.SLC)
+		if attach {
+			cfg.Attrib = attrib.NewRecorder(4)
+		}
+		s := newSSD(t, cfg)
+		op := trace.BlockOp{Kind: trace.Read, Offset: 0, Size: 64 << 10}
+		for i := 0; i < 8; i++ {
+			s.Submit(op) // warm the window heap and fill the exemplar heap
+		}
+		return testing.AllocsPerRun(1000, func() {
+			s.Submit(op)
+		})
+	}
+	off, on := measure(false), measure(true)
+	if on != off {
+		t.Fatalf("attribution adds allocations: %.1f/call attached vs %.1f/call bare", on, off)
+	}
+}

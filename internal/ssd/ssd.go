@@ -15,6 +15,7 @@ import (
 	"oocnvm/internal/fault"
 	"oocnvm/internal/nvm"
 	"oocnvm/internal/obs"
+	"oocnvm/internal/obs/attrib"
 	"oocnvm/internal/obs/timeseries"
 	"oocnvm/internal/sim"
 	"oocnvm/internal/trace"
@@ -256,6 +257,11 @@ type Config struct {
 	// stack's series on it (device utilization, queue depth, FTL GC, link
 	// occupancy, fault deltas). Nil means sampling off, with zero overhead.
 	Sampler *timeseries.Sampler
+	// Attrib, when non-nil, records every request's latency anatomy: the
+	// per-component decomposition (queue, link, bus, die, GC, recovery)
+	// that provably sums to the end-to-end latency, plus top-K slow-request
+	// exemplars. Nil means attribution off, with zero overhead.
+	Attrib *attrib.Recorder
 }
 
 // DefaultQueueDepth is the native command queue depth used throughout the
@@ -279,6 +285,7 @@ type SSD struct {
 	probe        obs.Probe
 	sampler      *timeseries.Sampler
 	faults       *fault.Injector
+	att          *attrib.Recorder
 	err          error
 }
 
@@ -323,6 +330,10 @@ func New(cfg Config) (*SSD, error) {
 	if cfg.Fault != nil && cfg.Fault.Enabled() {
 		s.faults = cfg.Fault
 		dev.SetFaults(cfg.Fault)
+	}
+	if cfg.Attrib != nil {
+		s.att = cfg.Attrib
+		dev.SetAttrib(cfg.Attrib)
 	}
 	if cfg.Probe != nil {
 		s.SetProbe(cfg.Probe)
@@ -433,6 +444,7 @@ func (s *SSD) Submit(op trace.BlockOp) (sim.Time, error) {
 		s.sampler.Advance(s.clock)
 	}
 	arrive := s.clock
+	s.att.Begin(uint8(op.Kind), op.Offset, op.Size, arrive)
 	if op.Sync {
 		s.clock = sim.MaxTime(s.clock, s.win.Drain())
 	}
@@ -441,12 +453,14 @@ func (s *SSD) Submit(op trace.BlockOp) (sim.Time, error) {
 			ErrOutOfRange, op.Kind, op.Offset, op.Size, s.capacity)
 		s.keep(err)
 		s.probe.Count("ssd.rejected_ops", 1)
+		s.att.Abort()
 		return s.clock, err
 	}
 	if s.faults != nil && s.faults.ReadOnly() && op.Kind != trace.Read {
 		s.faults.RejectOp()
 		err := fmt.Errorf("ssd: %s offset=%d size=%d: %w", op.Kind, op.Offset, op.Size, fault.ErrReadOnly)
 		s.keep(err)
+		s.att.Abort()
 		return s.clock, err
 	}
 	var pageOps []nvm.PageOp
@@ -459,10 +473,29 @@ func (s *SSD) Submit(op trace.BlockOp) (sim.Time, error) {
 		pageOps = s.trans.Erase(op.Offset, op.Size)
 	}
 	issue := s.win.Admit(s.clock, op.Size)
+	// Queue covers both the sync barrier drain and window admission: arrive
+	// was stamped before the drain, so issue-arrive is the whole wait.
+	s.att.Note(attrib.Queue, issue-arrive)
+	if s.att != nil {
+		gc := 0
+		for _, p := range pageOps {
+			if p.GC {
+				gc++
+			}
+		}
+		s.att.NotePages(len(pageOps), gc)
+	}
 	end := s.Dev.Submit(issue, pageOps)
 	var err error
 	if s.faults != nil {
+		// Recovery relocation replays through the device; pausing the
+		// recorder keeps those activations from overwriting the request's
+		// own critical path — the whole delta is charged to Recovery.
+		preRecover := end
+		s.att.Pause()
 		end = s.recover(end)
+		s.att.Resume()
+		s.att.Note(attrib.Recovery, end-preRecover)
 		if n := s.faults.TakeUncorrectable(); n > 0 {
 			err = fmt.Errorf("ssd: %d uncorrectable page read(s) in %s offset=%d: %w",
 				n, op.Kind, op.Offset, fault.ErrUncorrectable)
@@ -470,6 +503,7 @@ func (s *SSD) Submit(op trace.BlockOp) (sim.Time, error) {
 		}
 	}
 	s.win.Complete(end, op.Size)
+	s.att.Commit(end)
 	if op.Sync {
 		s.clock = end
 	} else {
