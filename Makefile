@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check fmt fuzz cover bench bench-smoke profile simcheck
+.PHONY: all build vet test race check fmt fuzz cover bench bench-smoke profile simcheck chaos
 FUZZTIME ?= 10s
 
 all: check
@@ -20,12 +20,14 @@ race:
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-# Short bounded fuzz pass over the FTL mapping, ECC classification and
-# workload-codec harnesses; FUZZTIME=1m make fuzz for a longer soak.
+# Short bounded fuzz pass over the FTL mapping, ECC classification,
+# workload-codec and checkpoint torn-write harnesses; FUZZTIME=1m make fuzz
+# for a longer soak.
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzFTLMapping -fuzztime=$(FUZZTIME) ./internal/ftl
 	$(GO) test -run=^$$ -fuzz=FuzzReadClassify -fuzztime=$(FUZZTIME) ./internal/fault
 	$(GO) test -run=^$$ -fuzz=FuzzWorkloadRoundTrip -fuzztime=$(FUZZTIME) ./internal/check
+	$(GO) test -run=^$$ -fuzz=FuzzCkptTornWrite -fuzztime=$(FUZZTIME) ./internal/ckpt
 
 # One pass over every figure/table benchmark, archived as JSON for diffing
 # between commits. -benchtime=1x because each whole-figure benchmark already
@@ -55,6 +57,18 @@ profile:
 # metamorphic relations over the acceptance configurations.
 simcheck:
 	$(GO) run ./cmd/simcheck -episodes 25 -configs CNL-UFS,CNL-EXT4,ION-GPFS -cells MLC,TLC
+
+# Degraded-network chaos smoke: race-checked scenario matrix over the
+# netfault transfer engine, the degraded preload/checkpoint path and the
+# conformance envelopes, then a full replay staged through a flaky fabric
+# with the HTML experiment report as the artifact.
+chaos:
+	$(GO) test -race -count=1 ./internal/netfault ./internal/cluster ./internal/check
+	$(GO) run ./cmd/simcheck -episodes 3 -configs CNL-UFS -cells MLC -net-profile flaky
+	$(GO) run ./cmd/tracegen -matrix 64 -panel 8 -apps 2 -fs EXT4 -block chaos.trace
+	$(GO) run ./cmd/replay -trace chaos.trace -config CNL-EXT4 -cell TLC \
+		-net-profile flaky -report-out chaos_report.html
+	@test -s chaos_report.html && echo "wrote chaos_report.html"
 
 cover:
 	$(GO) test -cover ./... | tee coverage.txt

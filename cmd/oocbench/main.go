@@ -20,6 +20,7 @@ import (
 	"oocnvm/internal/energy"
 	"oocnvm/internal/experiment"
 	"oocnvm/internal/fault"
+	"oocnvm/internal/netfault"
 	"oocnvm/internal/nvm"
 	"oocnvm/internal/obs/export"
 	"oocnvm/internal/obs/report"
@@ -45,11 +46,13 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "simulation seed")
 		qd       = flag.Int("qd", 32, "host queue depth")
 		faultP   = flag.String("fault-profile", "none", "reliability profile for the achieved runs: none, fresh, worn, eol")
+		netProf  string
 		retDays  = flag.Float64("retention-days", 0, "age all data by this many days of retention")
 		precycle = flag.Int64("precycle", 0, "pre-age every block by this many P/E cycles")
 		exp      export.Flags
 	)
 	exp.Register(flag.CommandLine)
+	export.RegisterNetProfile(flag.CommandLine, &netProf)
 	flag.Parse()
 
 	opt := experiment.DefaultOptions()
@@ -68,6 +71,7 @@ func main() {
 	opt.Fault = prof
 	opt.RetentionDays = *retDays
 	opt.PrecyclePE = *precycle
+	opt.NetProfile = netProf
 	opt.Obs = exp.Collector()
 	samp := exp.Sampler()
 	rec := exp.Recorder(opt.Obs)
@@ -338,5 +342,30 @@ func printTopology(opt experiment.Options, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "preload of %d MiB dataset: %v (disk streaming %.0f MB/s, hidden behind prior job: %v)\n",
 		opt.Workload.MatrixBytes>>20, res.Duration, res.DiskBW/1e6, res.Hidden)
+
+	// With -net-profile the same preload and a checkpoint drain are rerun
+	// across the degraded fabric, showing the retry/goodput cost.
+	if opt.NetProfile != "" && opt.NetProfile != "none" {
+		prof, err := netfault.ForName(opt.NetProfile)
+		if err != nil {
+			return err
+		}
+		dopt := cluster.DegradedOptions{Profile: prof, Seed: opt.Seed}
+		deg, err := cluster.PreloadDegraded(cluster.ComputeLocal(), cluster.PreloadPlan{
+			DatasetBytes:  opt.Workload.MatrixBytes,
+			OverlapWindow: 30 * sim.Second,
+		}, dopt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "degraded preload (%s): %v\n", opt.NetProfile, deg.Transfer)
+		drain, err := cluster.DrainCheckpoint(cluster.ComputeLocal(), cluster.CheckpointPlan{
+			SnapshotBytes: opt.Workload.MatrixBytes,
+		}, dopt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "degraded checkpoint drain (%s): %v\n", opt.NetProfile, drain.Transfer)
+	}
 	return nil
 }

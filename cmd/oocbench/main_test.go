@@ -94,3 +94,25 @@ func TestOocbenchFigure7a(t *testing.T) {
 		}
 	}
 }
+
+func TestOocbenchTopologyDegraded(t *testing.T) {
+	var out bytes.Buffer
+	opt := testOptions()
+	opt.NetProfile = "flaky"
+	if err := run(opt, "", "", false, true, false, false, false, false, nil, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"degraded preload (flaky)", "degraded checkpoint drain (flaky)", "retries"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	// Same seed, same profile: the degraded lines must be reproducible.
+	var again bytes.Buffer
+	if err := run(opt, "", "", false, true, false, false, false, false, nil, &again); err != nil {
+		t.Fatalf("rerun: %v", err)
+	}
+	if out.String() != again.String() {
+		t.Error("degraded topology output not deterministic across runs")
+	}
+}

@@ -10,9 +10,11 @@ import (
 	"io"
 	"os"
 
+	"oocnvm/internal/cluster"
 	"oocnvm/internal/experiment"
 	"oocnvm/internal/fault"
 	"oocnvm/internal/ftl"
+	"oocnvm/internal/netfault"
 	"oocnvm/internal/nvm"
 	"oocnvm/internal/obs/export"
 	"oocnvm/internal/obs/report"
@@ -32,6 +34,7 @@ type options struct {
 	seed          uint64
 	exp           export.Flags
 	faultProfile  string
+	netProfile    string
 	retentionDays float64
 	precycle      int64
 	spares        int64
@@ -50,6 +53,7 @@ func main() {
 	flag.Uint64Var(&o.seed, "seed", 42, "seed")
 	o.exp.Register(flag.CommandLine)
 	flag.StringVar(&o.faultProfile, "fault-profile", "none", "reliability profile: none, fresh, worn, eol")
+	export.RegisterNetProfile(flag.CommandLine, &o.netProfile)
 	flag.Float64Var(&o.retentionDays, "retention-days", 0, "age all data by this many days of retention")
 	flag.Int64Var(&o.precycle, "precycle", 0, "pre-age every block by this many P/E cycles")
 	flag.Int64Var(&o.spares, "spares", 0, "spare-block budget before read-only degradation (0 = default)")
@@ -169,6 +173,31 @@ func run(o options, w io.Writer) (retErr error) {
 	fmt.Fprintf(w, "trace: %d ops, %d MiB (%d MiB data), mean request %.1f KiB, %.0f%% sequential\n",
 		st.Ops, st.Bytes>>20, st.DataBytes>>20, st.MeanSize/1024, 100*st.SequentialPct)
 
+	// With -net-profile, the dataset is first staged onto the compute-local
+	// SSD across a degraded cluster fabric (the §3.1 preload under faults);
+	// the default clean fabric skips the staging so existing replay output
+	// stays byte-identical.
+	if o.netProfile == "" {
+		o.netProfile = "none"
+	}
+	if o.netProfile != "none" {
+		nprof, err := netfault.ForName(o.netProfile)
+		if err != nil {
+			return err
+		}
+		dataset := st.Bytes
+		if dataset <= 0 {
+			dataset = 64 << 20
+		}
+		pres, err := cluster.PreloadDegraded(cluster.ComputeLocal(), cluster.PreloadPlan{
+			DatasetBytes: dataset,
+		}, cluster.DegradedOptions{Profile: nprof, Seed: o.seed})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "staging (net profile %s): %v\n", o.netProfile, pres.Transfer)
+	}
+
 	var res ssd.Result
 	if o.paqDepth > 1 {
 		res = ssd.NewPAQ(drive, o.paqDepth).Replay(ops)
@@ -205,6 +234,7 @@ func run(o options, w io.Writer) (retErr error) {
 				{"window KiB", fmt.Sprint(o.windowKiB)},
 				{"seed", fmt.Sprint(o.seed)},
 				{"fault profile", o.faultProfile},
+				{"net profile", o.netProfile},
 			},
 		}
 		if sc.Fault != nil {

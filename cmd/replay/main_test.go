@@ -386,3 +386,37 @@ func TestReplayExportsGoldenDeterminism(t *testing.T) {
 		t.Fatalf("attribution CSV header wrong: %q", strings.SplitN(string(anatomy), "\n", 2)[0])
 	}
 }
+
+func TestReplayNetProfileStaging(t *testing.T) {
+	var out bytes.Buffer
+	err := run(options{
+		file: writeTestTrace(t), cfgName: "CNL-UFS", cellName: "SLC",
+		qd: 32, seed: 7, netProfile: "lossy",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "staging (net profile lossy)") {
+		t.Errorf("output missing staging line:\n%s", out.String())
+	}
+
+	// The default clean fabric must not add a staging line.
+	var clean bytes.Buffer
+	err = run(options{
+		file: writeTestTrace(t), cfgName: "CNL-UFS", cellName: "SLC",
+		qd: 32, seed: 7,
+	}, &clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(clean.String(), "staging") {
+		t.Errorf("clean replay grew a staging line:\n%s", clean.String())
+	}
+
+	if err := run(options{
+		file: writeTestTrace(t), cfgName: "CNL-UFS", cellName: "SLC",
+		qd: 32, netProfile: "bogus",
+	}, &out); err == nil {
+		t.Fatal("unknown net profile accepted")
+	}
+}

@@ -7,8 +7,13 @@
 // for episode failures — a ddmin-minimized reproducer trace, then exits
 // non-zero.
 //
+// With -net-profile it additionally sweeps the degraded-network transfer
+// scenarios (same-seed determinism, goodput/retry envelopes, journal
+// resume) for the named netfault profile.
+//
 //	simcheck -episodes 25 -configs CNL-UFS,CNL-EXT4,ION-GPFS -cells MLC,TLC
 //	simcheck -episodes 5 -configs CNL-UFS -cells MLC -fault worn
+//	simcheck -episodes 5 -configs CNL-UFS -cells MLC -net-profile flaky
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"oocnvm/internal/experiment"
 	"oocnvm/internal/fault"
 	"oocnvm/internal/nvm"
+	"oocnvm/internal/obs/export"
 )
 
 type options struct {
@@ -29,6 +35,7 @@ type options struct {
 	configs     string
 	cells       string
 	faultName   string
+	netProfile  string
 	seed        uint64
 	ops         int
 	metamorphic bool
@@ -155,6 +162,19 @@ func run(opt options, out io.Writer) error {
 		}
 	}
 
+	if opt.netProfile != "" {
+		fmt.Fprintf(out, "\nnetwork degradation scenarios:\n")
+		nsum, err := check.NetfaultScenarios(opt.netProfile, opt.seed)
+		if err != nil {
+			return err
+		}
+		for _, v := range nsum.Violations {
+			failures = append(failures, failure{where: "netfault/" + nsum.Profile, viol: v})
+		}
+		fmt.Fprintf(out, "  %-16s %3d transfer runs  %5d chunks  %5d attributed  %4d retries  %d violations\n",
+			"netfault/"+nsum.Profile, nsum.Runs, nsum.Chunks, nsum.Attributed, nsum.Retries, len(nsum.Violations))
+	}
+
 	fmt.Fprintf(out, "\nsimcheck: %d episodes, %d requests (%d attribution-conserving), %d metamorphic checks, %d violations\n",
 		episodes, requests, attributed, metaChecks, len(failures))
 	if len(failures) == 0 {
@@ -201,6 +221,7 @@ func main() {
 	flag.StringVar(&opt.configs, "configs", "CNL-UFS,CNL-EXT4,ION-GPFS", "comma-separated Table 2 configuration names")
 	flag.StringVar(&opt.cells, "cells", "MLC,TLC", "comma-separated cell types (SLC, MLC, TLC, PCM)")
 	flag.StringVar(&opt.faultName, "fault", "none", "fault profile: none, fresh, worn or eol")
+	export.RegisterNetProfile(flag.CommandLine, &opt.netProfile)
 	flag.Uint64Var(&opt.seed, "seed", 1, "base RNG seed (episode i uses seed+i)")
 	flag.IntVar(&opt.ops, "ops", 0, "requests per episode (0 = sized to device capacity)")
 	flag.BoolVar(&opt.metamorphic, "metamorphic", true, "run metamorphic invariant checks")

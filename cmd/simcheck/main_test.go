@@ -50,3 +50,23 @@ func TestCellForName(t *testing.T) {
 		t.Fatal("xlc accepted")
 	}
 }
+
+func TestSimcheckNetProfile(t *testing.T) {
+	var out bytes.Buffer
+	opt := options{
+		episodes: 1, configs: "CNL-UFS", cells: "MLC",
+		faultName: "none", netProfile: "flaky", seed: 1,
+	}
+	if err := run(opt, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"network degradation scenarios:", "netfault/flaky", "0 violations"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	if err := run(options{episodes: 1, configs: "CNL-UFS", cells: "MLC",
+		faultName: "none", netProfile: "bogus"}, &out); err == nil {
+		t.Fatal("unknown net profile accepted")
+	}
+}

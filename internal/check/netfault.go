@@ -1,0 +1,197 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"oocnvm/internal/interconnect"
+	"oocnvm/internal/netfault"
+	"oocnvm/internal/obs/attrib"
+	"oocnvm/internal/sim"
+)
+
+// CheckTransfer asserts one degraded-transfer result against its
+// analytical envelope: goodput can never beat the degraded path's clean
+// rate, wire traffic can never undercut the verified payload, the retry
+// counters must cohere, and the run completes exactly when the outage
+// schedule leaves positive availability (and the retry budget held).
+func CheckTransfer(res netfault.Result, effectiveBps float64, positiveAvail bool) []Violation {
+	var out []Violation
+	add := func(format string, args ...any) {
+		out = append(out, Violation{Kind: "netfault", Detail: fmt.Sprintf(format, args...)})
+	}
+
+	if res.End < res.Start {
+		add("run ends (%v) before it starts (%v)", res.End, res.Start)
+	}
+	if res.Goodput > effectiveBps*(1+envTol) {
+		add("goodput %.0f B/s beats the degraded path's clean rate %.0f B/s", res.Goodput, effectiveBps)
+	}
+	if got := sim.Rate(res.PayloadBytes, res.End-res.Start); res.PayloadBytes > 0 &&
+		(res.Goodput < got*(1-envTol) || res.Goodput > got*(1+envTol)) {
+		add("goodput %.0f B/s inconsistent with %d payload bytes over %v", res.Goodput, res.PayloadBytes, res.End-res.Start)
+	}
+	if res.WireBytes < res.PayloadBytes {
+		add("wire bytes %d undercut verified payload %d", res.WireBytes, res.PayloadBytes)
+	}
+	if res.PayloadBytes > res.TotalBytes {
+		add("payload %d exceeds the transfer total %d", res.PayloadBytes, res.TotalBytes)
+	}
+
+	// Counter coherence: every failed attempt is exactly one loss or one
+	// corruption, and attempts partition into deliveries and failures.
+	if res.Retries != res.Losses+res.Corruptions {
+		add("retries %d != losses %d + corruptions %d", res.Retries, res.Losses, res.Corruptions)
+	}
+	if res.Attempts != int64(res.Delivered)+res.Retries {
+		add("attempts %d != delivered %d + retries %d", res.Attempts, res.Delivered, res.Retries)
+	}
+	if res.StallTime < 0 || res.BackoffTime < 0 || res.RetryTime < 0 {
+		add("negative stall/backoff/retry time: %v/%v/%v", res.StallTime, res.BackoffTime, res.RetryTime)
+	}
+
+	if res.Completed {
+		if res.Skipped+res.Delivered != res.Chunks {
+			add("completed with %d skipped + %d delivered != %d chunks", res.Skipped, res.Delivered, res.Chunks)
+		}
+		if res.Err != "" {
+			add("completed run carries error %q", res.Err)
+		}
+		if !positiveAvail {
+			add("transfer completed through a permanent partition")
+		}
+	} else if positiveAvail && strings.Contains(res.Err, netfault.ErrNoAvailability.Error()) {
+		add("run reported no availability but the outage schedule leaves positive availability")
+	}
+	return out
+}
+
+// CheckTransferDeterminism asserts two same-seed runs produced identical
+// results — the whole struct, not a summary, since Result is comparable.
+func CheckTransferDeterminism(a, b netfault.Result) []Violation {
+	if a == b {
+		return nil
+	}
+	return []Violation{{
+		Kind:   "netfault",
+		Detail: fmt.Sprintf("same-seed runs diverged:\n  a: %v\n  b: %v", a, b),
+	}}
+}
+
+// CheckResume asserts the resume contract: a run resumed from a journal
+// must move strictly fewer wire bytes than the uninterrupted reference
+// while converging on the identical verified-chunk bitmap.
+func CheckResume(reference, resumed netfault.Result) []Violation {
+	var out []Violation
+	add := func(format string, args ...any) {
+		out = append(out, Violation{Kind: "netfault-resume", Detail: fmt.Sprintf(format, args...)})
+	}
+	if resumed.Skipped == 0 {
+		add("resumed run skipped nothing — the journal was not honored")
+	}
+	if resumed.WireBytes >= reference.WireBytes {
+		add("resumed run moved %d wire bytes, from-scratch moved %d — resume must move strictly fewer",
+			resumed.WireBytes, reference.WireBytes)
+	}
+	if resumed.BitmapFNV != reference.BitmapFNV {
+		add("resumed bitmap %x differs from the from-scratch bitmap %x", resumed.BitmapFNV, reference.BitmapFNV)
+	}
+	if !resumed.Completed {
+		add("resumed run did not complete: %s", resumed.Err)
+	}
+	return out
+}
+
+// NetfaultSummary reports one scenario sweep for the CLI.
+type NetfaultSummary struct {
+	Profile    string
+	Runs       int
+	Chunks     int
+	Retries    int64
+	Attributed int64
+	Violations []Violation
+}
+
+// NetfaultScenarios exercises the degraded-transfer envelope for one named
+// profile: two same-seed runs (determinism + per-run envelope +
+// attribution conservation), and — when the profile leaves availability —
+// an interrupt/resume pair checked against the resume contract.
+func NetfaultScenarios(profileName string, seed uint64) (NetfaultSummary, error) {
+	prof, err := netfault.ForName(profileName)
+	if err != nil {
+		return NetfaultSummary{}, err
+	}
+	sum := NetfaultSummary{Profile: prof.Name}
+	newRun := func(stopAfter int, rec *attrib.Recorder) (*netfault.Transfer, error) {
+		link := netfault.Wrap(interconnect.NewLine("checknet", 1e9, 10*sim.Microsecond), prof)
+		tr, err := netfault.NewTransfer(netfault.Spec{
+			Name:       "check-" + prof.Name,
+			TotalBytes: 256 << 20,
+			ChunkBytes: 8 << 20,
+			Seed:       seed,
+			StopAfter:  stopAfter,
+		}, link)
+		if err != nil {
+			return nil, err
+		}
+		tr.SetRecorder(rec)
+		return tr, nil
+	}
+	run := func(stopAfter int, rec *attrib.Recorder) (netfault.Result, error) {
+		tr, err := newRun(stopAfter, rec)
+		if err != nil {
+			return netfault.Result{}, err
+		}
+		res, runErr := tr.Run(0)
+		sum.Runs++
+		sum.Chunks += res.Delivered
+		sum.Retries += res.Retries
+		// An incomplete run is a legitimate outcome under blackout or an
+		// exhausted retry budget; the envelope checks judge it.
+		_ = runErr
+		return res, nil
+	}
+
+	rec := attrib.NewRecorder(attrib.DefaultTopK)
+	a, err := run(0, rec)
+	if err != nil {
+		return sum, err
+	}
+	b, err := run(0, nil)
+	if err != nil {
+		return sum, err
+	}
+	avail := prof.PositiveAvailability()
+	bps := 1e9
+	if prof.BandwidthCapBps > 0 && prof.BandwidthCapBps < bps {
+		bps = prof.BandwidthCapBps
+	}
+	sum.Violations = append(sum.Violations, CheckTransfer(a, bps, avail)...)
+	sum.Violations = append(sum.Violations, CheckTransfer(b, bps, avail)...)
+	sum.Violations = append(sum.Violations, CheckTransferDeterminism(a, b)...)
+	asum := rec.Summary()
+	sum.Attributed = asum.Requests
+	sum.Violations = append(sum.Violations, CheckAttribution(asum)...)
+
+	if avail && a.Completed {
+		// Interrupt after a third of the chunks, then resume from the
+		// persisted journal exactly as a restarted process would.
+		trStop, err := newRun(a.Chunks/3, nil)
+		if err != nil {
+			return sum, err
+		}
+		_, _ = trStop.Run(0) // expected ErrInterrupted; the journal holds the progress
+		sum.Runs++
+		trRes, err := newRun(0, nil)
+		if err != nil {
+			return sum, err
+		}
+		trRes.Journal().Adopt(trStop.Journal().Persisted())
+		resumed, _ := trRes.Run(0)
+		sum.Runs++
+		sum.Chunks += resumed.Delivered
+		sum.Retries += resumed.Retries
+		sum.Violations = append(sum.Violations, CheckResume(a, resumed)...)
+	}
+	return sum, nil
+}

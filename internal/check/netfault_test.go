@@ -1,0 +1,117 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"oocnvm/internal/netfault"
+)
+
+func TestNetfaultScenariosCleanProfiles(t *testing.T) {
+	for _, name := range []string{"none", "wan", "lossy", "congested", "flaky", "outage"} {
+		sum, err := NetfaultScenarios(name, 11)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(sum.Violations) != 0 {
+			t.Fatalf("%s: %d violations, first: %v", name, len(sum.Violations), sum.Violations[0])
+		}
+		if sum.Runs < 2 || sum.Chunks == 0 {
+			t.Fatalf("%s: scenario ran nothing: %+v", name, sum)
+		}
+	}
+}
+
+func TestNetfaultScenariosBlackout(t *testing.T) {
+	sum, err := NetfaultScenarios("blackout", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Violations) != 0 {
+		t.Fatalf("a correctly-incomplete blackout run is not a violation: %v", sum.Violations)
+	}
+	if sum.Chunks != 0 {
+		t.Fatalf("blackout delivered %d chunks", sum.Chunks)
+	}
+}
+
+func TestNetfaultScenariosUnknownProfile(t *testing.T) {
+	if _, err := NetfaultScenarios("bogus", 1); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestCheckTransferCatchesImpossibleResults(t *testing.T) {
+	good := netfault.Result{
+		TotalBytes: 100, Chunks: 2, Delivered: 2, Completed: true,
+		PayloadBytes: 100, WireBytes: 100, Attempts: 2,
+		Start: 0, End: 1e12, Goodput: 100,
+	}
+	if v := CheckTransfer(good, 1e9, true); len(v) != 0 {
+		t.Fatalf("coherent result flagged: %v", v)
+	}
+
+	cases := []struct {
+		mut  func(*netfault.Result)
+		want string
+	}{
+		{func(r *netfault.Result) { r.Goodput = 2e9 }, "beats"},
+		{func(r *netfault.Result) { r.WireBytes = 50 }, "undercut"},
+		{func(r *netfault.Result) { r.Retries = 3 }, "retries"},
+		{func(r *netfault.Result) { r.Attempts = 7 }, "attempts"},
+		{func(r *netfault.Result) { r.Delivered = 1 }, "chunks"},
+		{func(r *netfault.Result) { r.Err = "boom" }, "error"},
+	}
+	for _, c := range cases {
+		r := good
+		c.mut(&r)
+		v := CheckTransfer(r, 1e9, true)
+		if len(v) == 0 {
+			t.Fatalf("mutation for %q not caught: %+v", c.want, r)
+		}
+		found := false
+		for _, vi := range v {
+			if strings.Contains(vi.Detail, c.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("violations %v lack %q", v, c.want)
+		}
+	}
+
+	// Completing through a permanent partition is impossible hardware.
+	if v := CheckTransfer(good, 1e9, false); len(v) == 0 {
+		t.Fatal("completion through a permanent partition not caught")
+	}
+}
+
+func TestCheckResumeContract(t *testing.T) {
+	ref := netfault.Result{WireBytes: 1000, BitmapFNV: 42, Completed: true}
+	ok := netfault.Result{WireBytes: 400, BitmapFNV: 42, Skipped: 5, Completed: true}
+	if v := CheckResume(ref, ok); len(v) != 0 {
+		t.Fatalf("valid resume flagged: %v", v)
+	}
+	for _, bad := range []netfault.Result{
+		{WireBytes: 1000, BitmapFNV: 42, Skipped: 5, Completed: true}, // no savings
+		{WireBytes: 400, BitmapFNV: 7, Skipped: 5, Completed: true},   // wrong bitmap
+		{WireBytes: 400, BitmapFNV: 42, Completed: true},              // nothing skipped
+		{WireBytes: 400, BitmapFNV: 42, Skipped: 5},                   // incomplete
+	} {
+		if v := CheckResume(ref, bad); len(v) == 0 {
+			t.Fatalf("broken resume not caught: %+v", bad)
+		}
+	}
+}
+
+func TestCheckTransferDeterminismFlagsDivergence(t *testing.T) {
+	a := netfault.Result{Name: "x", Retries: 1}
+	if v := CheckTransferDeterminism(a, a); len(v) != 0 {
+		t.Fatal("identical results flagged")
+	}
+	b := a
+	b.Retries = 2
+	if v := CheckTransferDeterminism(a, b); len(v) != 1 {
+		t.Fatal("diverged results not flagged")
+	}
+}

@@ -164,16 +164,46 @@ func (w *Writer) Load() (State, error) {
 	return State{}, fmt.Errorf("ckpt: all slots corrupt")
 }
 
+// slotIndex resolves a newest-relative slot name (0 = newest, 1 = previous)
+// to the physical slot.
+func (w *Writer) slotIndex(slotFromNewest int) int {
+	if slotFromNewest == 1 {
+		return 1 - w.current
+	}
+	return w.current
+}
+
 // Corrupt flips bytes in the named slot's shadow, for failure-injection
 // tests (0 = newest, 1 = previous).
 func (w *Writer) Corrupt(slotFromNewest int) {
-	slot := w.current
-	if slotFromNewest == 1 {
-		slot = 1 - w.current
+	if len(w.shadow[w.slotIndex(slotFromNewest)]) > 16 {
+		w.CorruptAt(slotFromNewest, 12, 0xFF)
 	}
-	if len(w.shadow[slot]) > 16 {
-		w.shadow[slot][12] ^= 0xFF
+}
+
+// CorruptAt XORs mask into byte off of the chosen slot's shadow — the
+// torn-write injection hook: one damaged byte anywhere in a snapshot must
+// force Load onto the other slot, never onto garbage.
+func (w *Writer) CorruptAt(slotFromNewest, off int, mask byte) {
+	slot := w.slotIndex(slotFromNewest)
+	if off >= 0 && off < len(w.shadow[slot]) && mask != 0 {
+		w.shadow[slot][off] ^= mask
 	}
+}
+
+// TruncateAt cuts the chosen slot's shadow to n bytes, modelling a write
+// torn mid-snapshot by power loss.
+func (w *Writer) TruncateAt(slotFromNewest, n int) {
+	slot := w.slotIndex(slotFromNewest)
+	if n >= 0 && n < len(w.shadow[slot]) {
+		w.shadow[slot] = w.shadow[slot][:n]
+	}
+}
+
+// SlotLen reports the byte length of the chosen slot's shadow (0 = newest,
+// 1 = previous).
+func (w *Writer) SlotLen(slotFromNewest int) int {
+	return len(w.shadow[w.slotIndex(slotFromNewest)])
 }
 
 // Saves reports how many snapshots were taken.

@@ -9,7 +9,6 @@ package cluster
 import (
 	"fmt"
 
-	"oocnvm/internal/disk"
 	"oocnvm/internal/interconnect"
 	"oocnvm/internal/sim"
 )
@@ -80,6 +79,12 @@ func (t Topology) Validate() error {
 	if t.ComputeNodes <= 0 || t.IONs <= 0 || t.SSDsPerION <= 0 {
 		return fmt.Errorf("cluster: node counts must be positive: %+v", t)
 	}
+	if t.CoresPerCN <= 0 {
+		return fmt.Errorf("cluster: cores per CN must be positive, got %d", t.CoresPerCN)
+	}
+	if t.RAIDWidth <= 0 || t.RAIDSets <= 0 {
+		return fmt.Errorf("cluster: RAID geometry must be positive (width=%d sets=%d)", t.RAIDWidth, t.RAIDSets)
+	}
 	if t.OoCComputeNodes > t.ComputeNodes {
 		return fmt.Errorf("cluster: OoC nodes %d exceed compute nodes %d", t.OoCComputeNodes, t.ComputeNodes)
 	}
@@ -108,47 +113,22 @@ type PreloadResult struct {
 	DiskBW     float64  // achieved RAID streaming rate
 }
 
-// Preload simulates staging DatasetBytes from one RAID set over the storage
-// attachment and cluster network to a compute node's SSD, chunk by chunk
-// with pipelining across the three stages.
+// Preload simulates staging DatasetBytes from the magnetic tier over the
+// storage attachment and cluster network to one OoC compute node's SSD.
+//
+// Fan-out assumption: the dataset is striped chunk-round-robin across all
+// RAIDSets RAID sets, each set reached through its owning ION's
+// Fibre-Channel attachment (sets are distributed round-robin over the
+// IONs, so sets sharing an ION share its FC link). All set pipelines feed
+// the single network port of the destination compute node, which is
+// therefore the steady-state bottleneck of a healthy preload. The
+// per-chunk staging runs on the resumable transfer engine of
+// internal/netfault with the clean profile; PreloadDegraded exposes the
+// same path under fault injection.
 func Preload(t Topology, plan PreloadPlan) (PreloadResult, error) {
-	if err := t.Validate(); err != nil {
-		return PreloadResult{}, err
-	}
-	if plan.DatasetBytes <= 0 {
-		return PreloadResult{}, fmt.Errorf("cluster: preload dataset must be positive")
-	}
-	if plan.ChunkBytes <= 0 {
-		plan.ChunkBytes = 16 << 20
-	}
-	raid, err := disk.NewRAID0(t.RAIDWidth, disk.Enterprise15K(), 1<<20)
+	res, err := PreloadDegraded(t, plan, DegradedOptions{})
 	if err != nil {
 		return PreloadResult{}, err
 	}
-	fc := interconnect.NewNetworkLine(t.Storage)
-	net := interconnect.NewNetworkLine(t.Network)
-
-	var end sim.Time
-	for off := int64(0); off < plan.DatasetBytes; off += plan.ChunkBytes {
-		n := plan.ChunkBytes
-		if off+n > plan.DatasetBytes {
-			n = plan.DatasetBytes - off
-		}
-		e := raid.Serve(0, off, n) // RAID streams continuously
-		e = fc.Transfer(e, n)
-		e = net.Transfer(e, n)
-		if e > end {
-			end = e
-		}
-	}
-	res := PreloadResult{
-		Duration: end,
-		DiskBW:   sim.Rate(plan.DatasetBytes, end),
-	}
-	if end <= plan.OverlapWindow {
-		res.Hidden = true
-	} else {
-		res.CriticalNs = end - plan.OverlapWindow
-	}
-	return res, nil
+	return res.PreloadResult, nil
 }

@@ -51,6 +51,10 @@ type Options struct {
 	// synthetic host path has no anatomy worth decomposing). Like Sampler
 	// it is single-clock state, so Matrix drops it.
 	Attrib *attrib.Recorder
+	// NetProfile names the netfault degradation profile the commands that
+	// model cluster-network staging (preload, checkpoint drain) apply to
+	// it; "" or "none" is the clean fabric.
+	NetProfile string
 }
 
 // DefaultOptions returns the evaluation defaults: the standard OoC workload

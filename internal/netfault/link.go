@@ -1,0 +1,94 @@
+package netfault
+
+import (
+	"oocnvm/internal/obs"
+	"oocnvm/internal/sim"
+)
+
+// Link is the data path a transfer crosses: both *interconnect.Line and
+// *interconnect.Chain satisfy it, so a profile can wrap a single fabric
+// port or a whole staged path (remote PCIe then the cluster network).
+type Link interface {
+	// Transfer books n bytes no earlier than at and returns completion.
+	Transfer(at sim.Time, n int64) sim.Time
+	// RequestOverhead reports the fixed per-request cost of the path.
+	RequestOverhead() sim.Time
+	// BytesPerSec reports the path's (bottleneck) bandwidth.
+	BytesPerSec() float64
+}
+
+// Degraded wraps a Link in a degradation Profile. The wrapper owns the
+// bandwidth-cap pacing timeline, so a capped path serializes chunks at the
+// capped rate no matter how fast the underlying link is, and prebuilds its
+// counter names so the transfer hot path never concatenates strings.
+type Degraded struct {
+	link Link
+	prof Profile
+
+	cap   sim.Timeline // bandwidth-cap pacing; unused when uncapped
+	probe obs.Probe
+
+	lossCounter, corruptCounter, retryCounter     string
+	wireCounter, goodCounter, stallGauge, chunksC string
+}
+
+// Wrap degrades the link with the profile.
+func Wrap(l Link, p Profile) *Degraded {
+	return &Degraded{link: l, prof: p, probe: obs.Nop{}}
+}
+
+// SetProbe attaches an observability probe: loss/corruption/retry/chunk
+// counters, wire and goodput byte counters, and a cumulative stall gauge,
+// all under "netfault.<profile>.".
+func (d *Degraded) SetProbe(p obs.Probe) {
+	d.probe = obs.OrNop(p)
+	prefix := "netfault." + d.prof.Name + "."
+	d.lossCounter = prefix + "losses"
+	d.corruptCounter = prefix + "corruptions"
+	d.retryCounter = prefix + "retries"
+	d.wireCounter = prefix + "wire_bytes"
+	d.goodCounter = prefix + "goodput_bytes"
+	d.stallGauge = prefix + "stall_ps"
+	d.chunksC = prefix + "chunks"
+}
+
+// Profile reports the wrapped degradation profile.
+func (d *Degraded) Profile() Profile { return d.prof }
+
+// EffectiveBps reports the degraded path's data rate: the link's own
+// bottleneck rate, further capped by the profile's bandwidth cap.
+func (d *Degraded) EffectiveBps() float64 {
+	bps := d.link.BytesPerSec()
+	if d.prof.BandwidthCapBps > 0 && d.prof.BandwidthCapBps < bps {
+		bps = d.prof.BandwidthCapBps
+	}
+	return bps
+}
+
+// Overhead reports the fixed per-attempt cost: the link's request overhead
+// plus the profile's added latency (jitter is drawn per attempt by the
+// transfer engine, not here).
+func (d *Degraded) Overhead() sim.Time {
+	return d.link.RequestOverhead() + d.prof.AddedLatency
+}
+
+// Available returns when the fabric next accepts an attempt at or after t;
+// ok is false under a permanent partition.
+func (d *Degraded) Available(t sim.Time) (sim.Time, bool) {
+	return d.prof.Available(t)
+}
+
+// Send books n bytes through the degraded path no earlier than at: the
+// underlying link in series with the cap pacer, completing when both have
+// moved the chunk. Fault draws (loss, corruption) belong to the transfer
+// engine; Send only accounts time.
+func (d *Degraded) Send(at sim.Time, n int64) sim.Time {
+	end := d.link.Transfer(at, n)
+	if d.prof.BandwidthCapBps > 0 {
+		_, capEnd := d.cap.Acquire(at, sim.DurationForBytes(n, d.prof.BandwidthCapBps))
+		if capEnd > end {
+			end = capEnd
+		}
+	}
+	return end
+}

@@ -72,6 +72,16 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 		"write a runtime/pprof heap profile of the process to this file")
 }
 
+// RegisterNetProfile installs the shared -net-profile flag: the named
+// netfault degradation profile applied to cluster-network transfers
+// (preload staging, checkpoint drains) of the commands that model them.
+// Registered separately from Flags so commands with no network path don't
+// grow a dead flag.
+func RegisterNetProfile(fs *flag.FlagSet, target *string) {
+	fs.StringVar(target, "net-profile", "none",
+		"network degradation profile for staging transfers (none, wan, lossy, congested, flaky, outage, blackout)")
+}
+
 // Enabled reports whether any export needing a metrics collector was
 // requested.
 func (f *Flags) Enabled() bool {
