@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check fmt fuzz cover bench bench-smoke profile simcheck chaos
+.PHONY: all build vet test race check fmt fuzz cover bench bench-smoke bench-gate benchdiff profile simcheck chaos
 FUZZTIME ?= 10s
 
 all: check
@@ -30,19 +30,40 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzCkptTornWrite -fuzztime=$(FUZZTIME) ./internal/ckpt
 
 # One pass over every figure/table benchmark, archived as JSON for diffing
-# between commits. -benchtime=1x because each whole-figure benchmark already
-# runs the full evaluation matrix once.
+# between commits and appended to the continuous-bench history the HTML
+# report's trajectory sparklines read. -benchtime=1x because each whole-figure
+# benchmark already runs the full evaluation matrix once.
 bench:
-	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=1x . | $(GO) run ./cmd/benchjson > BENCH_results.json
-	@echo "wrote BENCH_results.json"
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=1x . \
+		| $(GO) run ./cmd/benchjson -history BENCH_history.jsonl > BENCH_results.json
+	@echo "wrote BENCH_results.json (history in BENCH_history.jsonl)"
 
 # Quick subset of the figure benchmarks for CI smoke runs: enough to catch a
 # perf or allocation regression without replaying every evaluation matrix.
+BENCH_SMOKE = Fig7aBandwidth|Fig10Breakdown|SimulatorPageThroughput|TelemetrySampling
 bench-smoke:
 	$(GO) test -run='^$$' -benchmem -benchtime=1x \
-		-bench='Fig7aBandwidth|Fig10Breakdown|SimulatorPageThroughput|TelemetrySampling' . \
+		-bench='$(BENCH_SMOKE)' . \
 		| $(GO) run ./cmd/benchjson > bench_smoke.json
 	@echo "wrote bench_smoke.json"
+
+# Continuous-bench gate: re-run the smoke benchmarks -count=3 (benchjson keeps
+# the min, so scheduler noise only helps), then fail if allocation counts grew
+# beyond 5% over the checked-in baseline. The time gate is disabled (-1):
+# wall-clock numbers are not comparable across machines, allocation counts
+# are deterministic.
+bench-gate:
+	$(GO) test -run='^$$' -benchmem -benchtime=1x -count=3 \
+		-bench='$(BENCH_SMOKE)' . \
+		| $(GO) run ./cmd/benchjson -history BENCH_history.jsonl > bench_smoke.json
+	$(GO) run ./cmd/benchdiff -time-threshold=-1 -alloc-threshold=0.05 \
+		BENCH_results.json bench_smoke.json
+
+# Compare two archived bench runs by hand: make benchdiff OLD=a.json NEW=b.json
+OLD ?= BENCH_results.json
+NEW ?= bench_smoke.json
+benchdiff:
+	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)
 
 # CPU + allocation profile of a representative attributed replay; inspect
 # with `go tool pprof profile/cpu.pprof` (or mem.pprof).

@@ -22,6 +22,7 @@ import (
 	"oocnvm/internal/interconnect"
 	"oocnvm/internal/linalg"
 	"oocnvm/internal/nvm"
+	"oocnvm/internal/obs/hostperf"
 	"oocnvm/internal/obs/timeseries"
 	"oocnvm/internal/ooc"
 	"oocnvm/internal/sim"
@@ -508,6 +509,44 @@ func BenchmarkTelemetrySampling(b *testing.B) {
 	}
 }
 
+// BenchmarkHostPerfProbes measures the replay hot path with the hostperf
+// allocation-attribution probes off (the default: one atomic load per probe)
+// and on (a runtime/metrics read per region boundary). The "off" case must
+// track BenchmarkSimulatorPageThroughput — shipping the probes may not tax
+// runs that never ask for host-cost measurement.
+func BenchmarkHostPerfProbes(b *testing.B) {
+	geo := nvm.PaperGeometry()
+	cp := nvm.Params(nvm.SLC)
+	const req = 1 << 20
+	for _, bc := range []struct {
+		name    string
+		enabled bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			drive, err := ssd.New(ssd.Config{
+				Geometry: geo, Cell: cp, Bus: nvm.ONFi3SDR(),
+				Link:       interconnect.Infinite{},
+				Translator: ssd.NewDirect(geo, cp),
+				Seed:       1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if bc.enabled {
+				hostperf.EnableAttrib()
+				defer hostperf.DisableAttrib()
+			} else {
+				hostperf.DisableAttrib()
+			}
+			b.SetBytes(req)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				drive.Submit(traceRead(int64(i)*req, req))
+			}
+		})
+	}
+}
+
 // BenchmarkSpMM measures the numerical kernel of the workload.
 func BenchmarkSpMM(b *testing.B) {
 	h, err := ooc.Hamiltonian(ooc.DefaultHamiltonian(5000))
@@ -525,18 +564,34 @@ func BenchmarkSpMM(b *testing.B) {
 	}
 }
 
-// BenchmarkLOBPCGSolve measures a full small-scale eigensolve.
+// BenchmarkLOBPCGSolve measures a full small-scale eigensolve. Beyond the
+// time-per-op, it reports how hard the solver worked: iterations to
+// convergence and the worst final residual, so the continuous-bench history
+// catches numerical regressions (a change that converges slower or less
+// tightly) even when wall time hides them.
 func BenchmarkLOBPCGSolve(b *testing.B) {
 	h, err := ooc.Hamiltonian(ooc.DefaultHamiltonian(300))
 	if err != nil {
 		b.Fatal(err)
 	}
+	var iters int
+	var residual float64
 	for i := 0; i < b.N; i++ {
-		if _, err := linalg.LOBPCG(linalg.DenseOperator{A: h},
-			linalg.LOBPCGOptions{K: 4, MaxIter: 200, Tol: 1e-6, Seed: 1}); err != nil {
+		res, err := linalg.LOBPCG(linalg.DenseOperator{A: h},
+			linalg.LOBPCGOptions{K: 4, MaxIter: 200, Tol: 1e-6, Seed: 1})
+		if err != nil {
 			b.Fatal(err)
 		}
+		iters = res.Iterations
+		residual = 0
+		for _, r := range res.Residuals {
+			if r > residual {
+				residual = r
+			}
+		}
 	}
+	b.ReportMetric(float64(iters), "solve-iters")
+	b.ReportMetric(residual, "max-residual")
 }
 
 // BenchmarkAblationBusLadder sweeps the NVM interface generations of §3.3 on

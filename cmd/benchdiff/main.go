@@ -1,0 +1,176 @@
+// Command benchdiff compares two benchmark result files produced by
+// benchjson and exits non-zero when a benchmark regressed beyond the noise
+// thresholds — the gate behind `make bench-gate`.
+//
+//	benchdiff [-time-threshold 0.20] [-alloc-threshold 0.05] [-guard regex] OLD NEW
+//
+// Each file is either a benchjson JSON array (BENCH_results.json) or a
+// benchjson -history JSONL file, in which case the last recorded run is
+// used. Benchmarks present in both files are compared on ns/op and
+// allocs/op: a value more than the corresponding threshold fraction above
+// the old one is a regression. A negative threshold disables that dimension
+// (CI disables the wall-time gate this way — machines differ, but
+// allocation counts are deterministic). -guard restricts which benchmarks
+// can fail the gate; everything is still reported. Benchmarks appearing in
+// only one file are listed but never gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strings"
+	"text/tabwriter"
+)
+
+type result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Samples     int                `json:"samples,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// load reads a benchjson artifact: a JSON array, or a JSONL history file
+// whose last line is the run to compare.
+func load(path string) ([]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := strings.TrimSpace(string(data))
+	if trimmed == "" {
+		return nil, fmt.Errorf("benchdiff: %s is empty", path)
+	}
+	if trimmed[0] == '[' {
+		var rs []result
+		if err := json.Unmarshal([]byte(trimmed), &rs); err != nil {
+			return nil, fmt.Errorf("benchdiff: %s: %w", path, err)
+		}
+		return rs, nil
+	}
+	// JSONL history: take the most recent run.
+	lines := strings.Split(trimmed, "\n")
+	last := strings.TrimSpace(lines[len(lines)-1])
+	var entry struct {
+		Results []result `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(last), &entry); err != nil {
+		return nil, fmt.Errorf("benchdiff: %s last line: %w", path, err)
+	}
+	return entry.Results, nil
+}
+
+// delta is the fractional change from old to new (+0.2 = 20% slower/more).
+func delta(oldV, newV float64) float64 {
+	if oldV == 0 {
+		if newV == 0 {
+			return 0
+		}
+		return 1 // something from nothing: treat as a full-size increase
+	}
+	return newV/oldV - 1
+}
+
+// regressed reports whether newV exceeds oldV by more than the threshold
+// fraction. A negative threshold disables the check.
+func regressed(oldV, newV, threshold float64) bool {
+	if threshold < 0 {
+		return false
+	}
+	return delta(oldV, newV) > threshold
+}
+
+type options struct {
+	timeThreshold  float64
+	allocThreshold float64
+	guard          string
+}
+
+func run(o options, oldPath, newPath string, w io.Writer) error {
+	oldRes, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newRes, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	var guard *regexp.Regexp
+	if o.guard != "" {
+		guard, err = regexp.Compile(o.guard)
+		if err != nil {
+			return fmt.Errorf("benchdiff: bad -guard: %w", err)
+		}
+	}
+
+	oldBy := make(map[string]result, len(oldRes))
+	for _, r := range oldRes {
+		oldBy[r.Name] = r
+	}
+	seen := make(map[string]bool, len(newRes))
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "benchmark\tns/op old\tns/op new\tΔtime\tallocs old\tallocs new\tΔallocs\tverdict\n")
+	regressions := 0
+	for _, nr := range newRes {
+		seen[nr.Name] = true
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			fmt.Fprintf(tw, "%s\t-\t%.0f\t-\t-\t%.0f\t-\tnew\n", nr.Name, nr.NsPerOp, nr.AllocsPerOp)
+			continue
+		}
+		timeBad := regressed(or.NsPerOp, nr.NsPerOp, o.timeThreshold)
+		allocBad := regressed(or.AllocsPerOp, nr.AllocsPerOp, o.allocThreshold)
+		gated := guard == nil || guard.MatchString(nr.Name)
+		verdict := "ok"
+		if timeBad || allocBad {
+			if gated {
+				verdict = "REGRESSION"
+				regressions++
+			} else {
+				verdict = "regressed (unguarded)"
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%\t%.0f\t%.0f\t%+.1f%%\t%s\n",
+			nr.Name, or.NsPerOp, nr.NsPerOp, 100*delta(or.NsPerOp, nr.NsPerOp),
+			or.AllocsPerOp, nr.AllocsPerOp, 100*delta(or.AllocsPerOp, nr.AllocsPerOp),
+			verdict)
+	}
+	for _, or := range oldRes {
+		if !seen[or.Name] {
+			fmt.Fprintf(tw, "%s\t%.0f\t-\t-\t%.0f\t-\t-\tdropped\n", or.Name, or.NsPerOp, or.AllocsPerOp)
+		}
+	}
+	tw.Flush()
+	if regressions > 0 {
+		return fmt.Errorf("benchdiff: %d regression(s) beyond thresholds (time %+.0f%%, allocs %+.0f%%)",
+			regressions, 100*o.timeThreshold, 100*o.allocThreshold)
+	}
+	fmt.Fprintln(w, "benchdiff: no regressions")
+	return nil
+}
+
+func main() {
+	var o options
+	flag.Float64Var(&o.timeThreshold, "time-threshold", 0.20,
+		"fractional ns/op increase tolerated before failing (negative disables the time gate)")
+	flag.Float64Var(&o.allocThreshold, "alloc-threshold", 0.05,
+		"fractional allocs/op increase tolerated before failing (negative disables the alloc gate)")
+	flag.StringVar(&o.guard, "guard", "",
+		"regexp of benchmark names allowed to fail the gate (empty = all)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] OLD NEW")
+		os.Exit(2)
+	}
+	if err := run(o, flag.Arg(0), flag.Arg(1), os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

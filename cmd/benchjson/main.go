@@ -2,20 +2,33 @@
 // into a JSON array so benchmark results can be archived and diffed between
 // runs (see the `make bench` target, which writes BENCH_results.json).
 //
-// Benchmarks appear in input order. Only the standard ns/op, B/op and
-// allocs/op columns are recorded; custom b.ReportMetric units (the MB/s
-// figures the paper benchmarks report) land in the metrics map keyed by
-// their unit string.
+// Repeated runs of the same benchmark (`go test -count=N`) are aggregated
+// into one entry: the primary ns/op, B/op and allocs/op take the minimum
+// across samples (the least-noise estimate — scheduling and GC interference
+// only ever add time), custom b.ReportMetric units take the median, the
+// iteration count is the honest total across all samples, and a `samples`
+// field records how many runs backed the entry. A single run keeps the old
+// shape (samples omitted when 1).
+//
+// With -history FILE, one JSONL record per invocation is appended to FILE:
+// the run's environment (date, git SHA, go version, GOMAXPROCS, goos/goarch,
+// the cpu line from the bench header) plus the aggregated results — the
+// benchmark trajectory the HTML report's sparklines read.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
+	"runtime"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 type result struct {
@@ -24,35 +37,55 @@ type result struct {
 	NsPerOp     float64            `json:"ns_per_op"`
 	BytesPerOp  float64            `json:"bytes_per_op"`
 	AllocsPerOp float64            `json:"allocs_per_op"`
+	Samples     int                `json:"samples,omitempty"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
+// header carries the environment lines `go test -bench` prints before the
+// benchmark results.
+type header struct {
+	GOOS, GOARCH, CPU string
+}
+
 // parse reads `go test -bench` text and returns one result per benchmark
-// line, in input order. Non-benchmark lines (PASS, ok, goos headers) are
-// skipped; a malformed benchmark line is an error rather than silent loss.
-func parse(r io.Reader) ([]result, error) {
+// line, in input order, plus the goos/goarch/cpu header. Non-benchmark lines
+// (PASS, ok) are skipped; a malformed benchmark line is an error rather than
+// silent loss.
+func parse(r io.Reader) ([]result, header, error) {
 	var out []result
+	var hdr header
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			hdr.GOOS = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			hdr.GOARCH = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			hdr.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
 		if !strings.HasPrefix(line, "Benchmark") {
 			continue
 		}
 		fields := strings.Fields(line)
 		if len(fields) < 2 {
-			return nil, fmt.Errorf("malformed benchmark line: %q", line)
+			return nil, hdr, fmt.Errorf("malformed benchmark line: %q", line)
 		}
 		iters, err := strconv.ParseInt(fields[1], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("benchmark %s: bad iteration count %q", fields[0], fields[1])
+			return nil, hdr, fmt.Errorf("benchmark %s: bad iteration count %q", fields[0], fields[1])
 		}
-		res := result{Name: fields[0], Iterations: iters}
+		res := result{Name: fields[0], Iterations: iters, Samples: 1}
 		// The remainder is value/unit pairs.
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
-				return nil, fmt.Errorf("benchmark %s: bad value %q", fields[0], fields[i])
+				return nil, hdr, fmt.Errorf("benchmark %s: bad value %q", fields[0], fields[i])
 			}
 			switch unit := fields[i+1]; unit {
 			case "ns/op":
@@ -70,16 +103,146 @@ func parse(r io.Reader) ([]result, error) {
 		}
 		out = append(out, res)
 	}
-	return out, sc.Err()
+	return out, hdr, sc.Err()
 }
 
-func run(in io.Reader, out io.Writer) error {
-	results, err := parse(in)
+// aggregate folds repeated runs of the same benchmark (-count=N) into one
+// entry per name, keeping first-appearance order. Minimum for the primary
+// columns, median for custom metrics, summed iterations, sample count.
+func aggregate(results []result) []result {
+	type group struct {
+		agg     result
+		metrics map[string][]float64
+	}
+	var order []string
+	groups := make(map[string]*group)
+	for _, r := range results {
+		g, ok := groups[r.Name]
+		if !ok {
+			g = &group{agg: r, metrics: make(map[string][]float64)}
+			g.agg.Metrics = nil
+			groups[r.Name] = g
+			order = append(order, r.Name)
+			for unit, v := range r.Metrics {
+				g.metrics[unit] = append(g.metrics[unit], v)
+			}
+			continue
+		}
+		g.agg.Samples++
+		g.agg.Iterations += r.Iterations
+		if r.NsPerOp < g.agg.NsPerOp {
+			g.agg.NsPerOp = r.NsPerOp
+		}
+		if r.BytesPerOp < g.agg.BytesPerOp {
+			g.agg.BytesPerOp = r.BytesPerOp
+		}
+		if r.AllocsPerOp < g.agg.AllocsPerOp {
+			g.agg.AllocsPerOp = r.AllocsPerOp
+		}
+		for unit, v := range r.Metrics {
+			g.metrics[unit] = append(g.metrics[unit], v)
+		}
+	}
+	out := make([]result, 0, len(order))
+	for _, name := range order {
+		g := groups[name]
+		if len(g.metrics) > 0 {
+			g.agg.Metrics = make(map[string]float64, len(g.metrics))
+			for unit, vs := range g.metrics {
+				g.agg.Metrics[unit] = median(vs)
+			}
+		}
+		if g.agg.Samples == 1 {
+			g.agg.Samples = 0 // omitempty: single runs keep the old shape
+		}
+		out = append(out, g.agg)
+	}
+	return out
+}
+
+func median(vs []float64) float64 {
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// envInfo is the run's environment metadata recorded with each history
+// entry, so a trajectory point can be traced back to the machine and commit
+// that produced it.
+type envInfo struct {
+	Date       string `json:"date"`
+	GitSHA     string `json:"git_sha,omitempty"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	CPU        string `json:"cpu,omitempty"`
+}
+
+type historyEntry struct {
+	envInfo
+	Results []result `json:"results"`
+}
+
+// gitSHA reports the checked-out commit, empty when not in a git repository
+// (history entries then key on the date alone).
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// appendHistory writes one JSONL record for this run to path.
+func appendHistory(path string, results []result, hdr header) error {
+	env := envInfo{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GitSHA:     gitSHA(),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GOOS:       hdr.GOOS,
+		GOARCH:     hdr.GOARCH,
+		CPU:        hdr.CPU,
+	}
+	if env.GOOS == "" {
+		env.GOOS = runtime.GOOS
+	}
+	if env.GOARCH == "" {
+		env.GOARCH = runtime.GOARCH
+	}
+	line, err := json.Marshal(historyEntry{envInfo: env, Results: results})
 	if err != nil {
 		return err
 	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func run(in io.Reader, out io.Writer, historyPath string) error {
+	parsed, hdr, err := parse(in)
+	if err != nil {
+		return err
+	}
+	results := aggregate(parsed)
 	if results == nil {
 		results = []result{}
+	}
+	if historyPath != "" {
+		if err := appendHistory(historyPath, results, hdr); err != nil {
+			return err
+		}
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
@@ -87,7 +250,9 @@ func run(in io.Reader, out io.Writer) error {
 }
 
 func main() {
-	if err := run(os.Stdin, os.Stdout); err != nil {
+	history := flag.String("history", "", "append this run as one JSONL record to the named history file")
+	flag.Parse()
+	if err := run(os.Stdin, os.Stdout, *history); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

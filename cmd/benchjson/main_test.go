@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -18,7 +20,7 @@ ok  	oocnvm	1.234s
 
 func TestBenchjsonParse(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader(sample), &out); err != nil {
+	if err := run(strings.NewReader(sample), &out, ""); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	var results []result
@@ -33,6 +35,9 @@ func TestBenchjsonParse(t *testing.T) {
 		r.NsPerOp != 25.5 || r.BytesPerOp != 128 || r.AllocsPerOp != 3 {
 		t.Errorf("first result wrong: %+v", r)
 	}
+	if r.Samples != 0 {
+		t.Errorf("single run should omit samples, got %d", r.Samples)
+	}
 	if got := results[1].Metrics["MB/s/CNL-UFS_SLC"]; got != 3060 {
 		t.Errorf("custom metric = %v, want 3060", got)
 	}
@@ -40,7 +45,7 @@ func TestBenchjsonParse(t *testing.T) {
 
 func TestBenchjsonEmptyInput(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader("PASS\nok x 0.1s\n"), &out); err != nil {
+	if err := run(strings.NewReader("PASS\nok x 0.1s\n"), &out, ""); err != nil {
 		t.Fatal(err)
 	}
 	if strings.TrimSpace(out.String()) != "[]" {
@@ -50,7 +55,83 @@ func TestBenchjsonEmptyInput(t *testing.T) {
 
 func TestBenchjsonRejectsMalformed(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader("BenchmarkX notanumber ns/op\n"), &out); err == nil {
+	if err := run(strings.NewReader("BenchmarkX notanumber ns/op\n"), &out, ""); err == nil {
 		t.Fatal("malformed line accepted")
+	}
+}
+
+// repeated is what `go test -bench=X -count=3` emits: the same benchmark
+// three times, with run-to-run time noise and a custom metric.
+const repeated = `goos: linux
+goarch: amd64
+cpu: Intel Xeon
+BenchmarkX-8	     100	 1500 ns/op	  5.0 iters	  256 B/op	  4 allocs/op
+BenchmarkX-8	     120	 1000 ns/op	  7.0 iters	  256 B/op	  4 allocs/op
+BenchmarkX-8	     110	 1200 ns/op	  6.0 iters	  256 B/op	  4 allocs/op
+BenchmarkY-8	      10	 9000 ns/op	  512 B/op	  8 allocs/op
+PASS
+`
+
+func TestBenchjsonAggregatesRepeatedRuns(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(repeated), &out, ""); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var results []result
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2 (aggregated)", len(results))
+	}
+	x := results[0]
+	if x.Name != "BenchmarkX-8" {
+		t.Fatalf("first result %q, want BenchmarkX-8", x.Name)
+	}
+	if x.Samples != 3 {
+		t.Errorf("samples = %d, want 3", x.Samples)
+	}
+	if x.NsPerOp != 1000 {
+		t.Errorf("ns/op = %v, want the minimum 1000", x.NsPerOp)
+	}
+	if x.Iterations != 330 {
+		t.Errorf("iterations = %d, want the honest total 330", x.Iterations)
+	}
+	if got := x.Metrics["iters"]; got != 6 {
+		t.Errorf("custom metric median = %v, want 6", got)
+	}
+	if results[1].Samples != 0 {
+		t.Errorf("single-sample benchmark should omit samples, got %d", results[1].Samples)
+	}
+}
+
+func TestBenchjsonHistoryAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	for i := 0; i < 2; i++ {
+		var out bytes.Buffer
+		if err := run(strings.NewReader(repeated), &out, path); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("history has %d lines, want 2", len(lines))
+	}
+	var e historyEntry
+	if err := json.Unmarshal([]byte(lines[1]), &e); err != nil {
+		t.Fatalf("history line is not JSON: %v", err)
+	}
+	if e.GoVersion == "" || e.GOMAXPROCS == 0 || e.Date == "" {
+		t.Errorf("missing env metadata: %+v", e.envInfo)
+	}
+	if e.GOOS != "linux" || e.CPU != "Intel Xeon" {
+		t.Errorf("header env not recorded: goos=%q cpu=%q", e.GOOS, e.CPU)
+	}
+	if len(e.Results) != 2 || e.Results[0].NsPerOp != 1000 {
+		t.Errorf("history results wrong: %+v", e.Results)
 	}
 }

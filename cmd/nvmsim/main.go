@@ -86,6 +86,7 @@ func run(cellName, busName string, gen, lanes int, bridged bool, pattern, kind s
 	col := exp.Collector()
 	samp := exp.Sampler()
 	rec := exp.Recorder(col)
+	host := exp.Host()
 	sc := ssd.Config{
 		Geometry:    geo,
 		Cell:        cp,
@@ -124,7 +125,9 @@ func run(cellName, busName string, gen, lanes int, bridged bool, pattern, kind s
 			off += req
 		}
 	}
+	endReplay := host.Phase("replay")
 	res := drive.Replay(ops)
+	endReplay()
 
 	fmt.Fprintf(out, "device: %s, %s, %s, %d ch x %d pkg x %d dies, %d planes/die\n",
 		cell, bus.Name, pcie, geo.Channels, geo.Packages(), geo.Dies(), cp.Planes)
@@ -144,7 +147,7 @@ func run(cellName, busName string, gen, lanes int, bridged bool, pattern, kind s
 	if col != nil {
 		col.Reg.Absorb(drive.Dev.Registry())
 	}
-	if exp.Enabled() {
+	if exp.Enabled() || host != nil {
 		info := report.RunInfo{
 			Title: fmt.Sprintf("nvmsim %s %s %s", cell, pattern, kind),
 			Params: [][2]string{
@@ -159,7 +162,7 @@ func run(cellName, busName string, gen, lanes int, bridged bool, pattern, kind s
 				{"seed", fmt.Sprint(seed)},
 			},
 		}
-		if err := exp.Write(out, col, samp, rec, info); err != nil {
+		if err := exp.Write(out, col, samp, rec, host, info); err != nil {
 			return err
 		}
 	}

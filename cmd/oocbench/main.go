@@ -75,6 +75,9 @@ func main() {
 	opt.Obs = exp.Collector()
 	samp := exp.Sampler()
 	rec := exp.Recorder(opt.Obs)
+	// With -hostperf every matrix cell records its own host-cost phase (and
+	// the matrix serializes so the allocation attribution stays exact).
+	opt.Host = exp.Host()
 	stopProf, err := exp.StartProfiles()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "oocbench:", err)
@@ -109,7 +112,7 @@ func main() {
 			fmt.Printf("attribution: decomposed a dedicated CNL-EXT4/TLC run (%d requests)\n", rec.Requests())
 		}
 	}
-	if exp.Enabled() {
+	if exp.Enabled() || opt.Host != nil {
 		info := report.RunInfo{
 			Title: "oocbench evaluation",
 			Params: [][2]string{
@@ -121,7 +124,7 @@ func main() {
 				{"fault profile", *faultP},
 			},
 		}
-		if err := exp.Write(os.Stdout, opt.Obs, samp, rec, info); err != nil {
+		if err := exp.Write(os.Stdout, opt.Obs, samp, rec, opt.Host, info); err != nil {
 			fmt.Fprintln(os.Stderr, "oocbench:", err)
 			os.Exit(1)
 		}

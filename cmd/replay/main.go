@@ -77,6 +77,10 @@ func run(o options, w io.Writer) (retErr error) {
 			retErr = perr
 		}
 	}()
+	// Host-cost collection starts before the first phase so trace loading,
+	// staging and the replay each land in their own row of the table.
+	host := o.exp.Host()
+	endLoad := host.Phase("load-trace")
 	f, err := os.Open(o.file)
 	if err != nil {
 		return err
@@ -88,6 +92,7 @@ func run(o options, w io.Writer) (retErr error) {
 	} else {
 		ops, err = trace.ReadBlockTrace(f)
 	}
+	endLoad()
 	if err != nil {
 		return err
 	}
@@ -181,8 +186,10 @@ func run(o options, w io.Writer) (retErr error) {
 		o.netProfile = "none"
 	}
 	if o.netProfile != "none" {
+		endStage := host.Phase("staging")
 		nprof, err := netfault.ForName(o.netProfile)
 		if err != nil {
+			endStage()
 			return err
 		}
 		dataset := st.Bytes
@@ -192,18 +199,21 @@ func run(o options, w io.Writer) (retErr error) {
 		pres, err := cluster.PreloadDegraded(cluster.ComputeLocal(), cluster.PreloadPlan{
 			DatasetBytes: dataset,
 		}, cluster.DegradedOptions{Profile: nprof, Seed: o.seed})
+		endStage()
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "staging (net profile %s): %v\n", o.netProfile, pres.Transfer)
 	}
 
+	endReplay := host.Phase("replay")
 	var res ssd.Result
 	if o.paqDepth > 1 {
 		res = ssd.NewPAQ(drive, o.paqDepth).Replay(ops)
 	} else {
 		res = drive.Replay(ops)
 	}
+	endReplay()
 	lat := drive.Dev.Latency()
 
 	fmt.Fprintf(w, "config: %s on %s (%s, %s)\n", cfg.Name, cell, cfg.PCIe, cfg.Bus.Name)
@@ -221,7 +231,7 @@ func run(o options, w io.Writer) (retErr error) {
 	if col != nil {
 		col.Reg.Absorb(drive.Dev.Registry())
 	}
-	if o.exp.Enabled() {
+	if o.exp.Enabled() || host != nil {
 		info := report.RunInfo{
 			Title: fmt.Sprintf("replay %s on %s/%s", o.file, cfg.Name, cell),
 			Params: [][2]string{
@@ -240,7 +250,7 @@ func run(o options, w io.Writer) (retErr error) {
 		if sc.Fault != nil {
 			info.FaultSummary = res.Faults.String()
 		}
-		if err := o.exp.Write(w, col, samp, rec, info); err != nil {
+		if err := o.exp.Write(w, col, samp, rec, host, info); err != nil {
 			return err
 		}
 	}

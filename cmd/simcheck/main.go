@@ -40,6 +40,7 @@ type options struct {
 	ops         int
 	metamorphic bool
 	shrink      bool
+	host        export.HostFlags
 }
 
 func cellForName(name string) (nvm.CellType, error) {
@@ -86,6 +87,11 @@ func run(opt options, out io.Writer) error {
 		return err
 	}
 
+	// With -hostperf every (config, cell) pair's episode batch is one
+	// host-cost phase, so the table shows which pair the suite spends its
+	// wall time and allocations on.
+	host := opt.host.Host()
+
 	var failures []failure
 	episodes, requests := 0, 0
 	var attributed int64
@@ -95,6 +101,7 @@ func run(opt options, out io.Writer) error {
 	for _, cfg := range configs {
 		for _, cell := range cells {
 			pair := fmt.Sprintf("%s/%v", cfg.Name, cell)
+			endPair := host.Phase("episodes " + pair)
 			pairReq, pairViol := 0, 0
 			var pairAttrib int64
 			for i := 0; i < opt.episodes; i++ {
@@ -118,6 +125,7 @@ func run(opt options, out io.Writer) error {
 						viol:  v, sc: sc, trace: len(res.Trace)})
 				}
 			}
+			endPair()
 			requests += pairReq
 			attributed += pairAttrib
 			fmt.Fprintf(out, "  %-16s %3d episodes  %7d requests  %7d attributed  %d violations\n",
@@ -127,6 +135,7 @@ func run(opt options, out io.Writer) error {
 
 	metaChecks := 0
 	if opt.metamorphic {
+		endMeta := host.Phase("metamorphic")
 		fmt.Fprintf(out, "\nmetamorphic checks:\n")
 		for _, cfg := range configs {
 			for _, cell := range cells {
@@ -160,11 +169,14 @@ func run(opt options, out io.Writer) error {
 				fmt.Fprintf(out, "  %-16s 4 relations  %d violations\n", pair, pairViol)
 			}
 		}
+		endMeta()
 	}
 
 	if opt.netProfile != "" {
+		endNet := host.Phase("netfault scenarios")
 		fmt.Fprintf(out, "\nnetwork degradation scenarios:\n")
 		nsum, err := check.NetfaultScenarios(opt.netProfile, opt.seed)
+		endNet()
 		if err != nil {
 			return err
 		}
@@ -177,6 +189,9 @@ func run(opt options, out io.Writer) error {
 
 	fmt.Fprintf(out, "\nsimcheck: %d episodes, %d requests (%d attribution-conserving), %d metamorphic checks, %d violations\n",
 		episodes, requests, attributed, metaChecks, len(failures))
+	if err := opt.host.Write(out, host); err != nil {
+		return err
+	}
 	if len(failures) == 0 {
 		return nil
 	}
@@ -226,6 +241,7 @@ func main() {
 	flag.IntVar(&opt.ops, "ops", 0, "requests per episode (0 = sized to device capacity)")
 	flag.BoolVar(&opt.metamorphic, "metamorphic", true, "run metamorphic invariant checks")
 	flag.BoolVar(&opt.shrink, "shrink", true, "minimize the first failing episode on violation")
+	opt.host.Register(flag.CommandLine)
 	flag.Parse()
 	if err := run(opt, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)

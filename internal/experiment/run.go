@@ -11,6 +11,7 @@ import (
 	"oocnvm/internal/nvm"
 	"oocnvm/internal/obs"
 	"oocnvm/internal/obs/attrib"
+	"oocnvm/internal/obs/hostperf"
 	"oocnvm/internal/obs/timeseries"
 	"oocnvm/internal/ooc"
 	"oocnvm/internal/ssd"
@@ -55,6 +56,12 @@ type Options struct {
 	// model cluster-network staging (preload, checkpoint drain) apply to
 	// it; "" or "none" is the clean fabric.
 	NetProfile string
+	// Host, when non-nil, records each evaluation cell as one host-perf
+	// phase (wall time, CPU, allocations, GC) and turns on allocation-site
+	// attribution. This is a measurement mode: Matrix serializes its
+	// workers while attribution is active, because the attribution region
+	// stack is process-global serial state.
+	Host *hostperf.Collector
 }
 
 // DefaultOptions returns the evaluation defaults: the standard OoC workload
@@ -104,6 +111,14 @@ func (m Measurement) RemainingMBps() float64 {
 
 // Run evaluates one configuration with one NVM type.
 func Run(cfg Config, cell nvm.CellType, opt Options) (Measurement, error) {
+	if opt.Host != nil {
+		defer opt.Host.Phase(fmt.Sprintf("cell %s/%s", cfg.Name, cell))()
+	}
+	// Everything in the harness that is not an inner subsystem region
+	// (trace generation, fs transform, stack assembly, result churn) is
+	// charged to the experiment site.
+	hostperf.Enter(hostperf.SiteExperiment)
+	defer hostperf.Exit()
 	blockOps, window, err := blockTrace(cfg, cell, opt)
 	if err != nil {
 		return Measurement{}, err
@@ -218,6 +233,13 @@ func Matrix(configs []Config, cells []nvm.CellType, opt Options) ([]Measurement,
 	workers := runtime.NumCPU()
 	if workers > len(out) {
 		workers = len(out)
+	}
+	// Host-perf attribution brackets regions on a process-global serial
+	// stack; running cells one at a time keeps every phase's resource delta
+	// and every site's allocation delta attributable to exactly one cell.
+	// Results are unchanged (each cell is deterministic and independent).
+	if hostperf.AttribActive() {
+		workers = 1
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)

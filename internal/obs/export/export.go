@@ -1,22 +1,26 @@
 // Package export is the shared observability flag plumbing of the CLIs.
 // Every command takes the same observability flags (-trace-out,
 // -metrics-out, -report-out, -sample-us, -attrib, -attrib-out, -attrib-top,
-// -cpuprofile, -memprofile); this package registers them once, builds the
-// collector/sampler/recorder set they imply, and writes every requested
-// artifact the same way — instead of each main duplicating the logic.
+// -hostperf, -hostperf-out, -hostperf-history, -cpuprofile, -memprofile);
+// this package registers them once, builds the collector/sampler/recorder
+// set they imply, and writes every requested artifact the same way —
+// instead of each main duplicating the logic.
 package export
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 
 	"oocnvm/internal/obs"
 	"oocnvm/internal/obs/attrib"
+	"oocnvm/internal/obs/hostperf"
 	"oocnvm/internal/obs/report"
 	"oocnvm/internal/obs/timeseries"
 	"oocnvm/internal/sim"
@@ -40,6 +44,18 @@ type Flags struct {
 	AttribOut string
 	// AttribTop is the slow-request exemplar capacity (top-K).
 	AttribTop int
+	// HostPerf prints the per-phase host-cost table and the
+	// allocs-by-subsystem breakdown on the command's output, and feeds the
+	// HTML report's "Host performance" section. Turning it on is a
+	// measurement mode: allocation-site attribution serializes the
+	// experiment matrix.
+	HostPerf bool
+	// HostPerfOut writes the host-performance summary to a file (JSON, or
+	// CSV with a .csv suffix). Implies host collection like HostPerf.
+	HostPerfOut string
+	// HostPerfHistory names a benchjson -history JSONL file; its per-run
+	// ns/op trajectories become the report's benchmark sparklines.
+	HostPerfHistory string
 	// CPUProfile/MemProfile write runtime/pprof profiles of the process
 	// (real compute, not simulated time) for the zero-alloc work.
 	CPUProfile string
@@ -66,6 +82,12 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 		"write the top-K slow-request latency anatomy as CSV")
 	fs.IntVar(&f.AttribTop, "attrib-top", attrib.DefaultTopK,
 		"slow-request exemplar count kept for -attrib-out and report waterfalls")
+	fs.BoolVar(&f.HostPerf, "hostperf", false,
+		"print the per-phase host cost (wall, cpu, allocs, GC) and allocs-by-subsystem breakdown (serializes the matrix)")
+	fs.StringVar(&f.HostPerfOut, "hostperf-out", "",
+		"write the host-performance summary (JSON, or CSV with a .csv suffix)")
+	fs.StringVar(&f.HostPerfHistory, "hostperf-history", "",
+		"benchjson -history JSONL file feeding the report's benchmark-trajectory sparklines")
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "",
 		"write a runtime/pprof CPU profile of the process to this file")
 	fs.StringVar(&f.MemProfile, "memprofile", "",
@@ -109,6 +131,17 @@ func (f *Flags) Sampler() *timeseries.Sampler {
 		us = DefaultSampleUS
 	}
 	return timeseries.NewSampler(sim.Time(us)*sim.Microsecond, 0)
+}
+
+// Host returns a fresh host-performance collector when host profiling was
+// requested (-hostperf or -hostperf-out), nil otherwise. A nil collector's
+// Phase is a no-op and the attribution probes stay on their disabled
+// one-atomic-load path, so runs without the flags pay nothing.
+func (f *Flags) Host() *hostperf.Collector {
+	if !f.HostPerf && f.HostPerfOut == "" {
+		return nil
+	}
+	return hostperf.NewCollector()
 }
 
 // Recorder returns a fresh latency-attribution recorder when attribution
@@ -175,12 +208,14 @@ func ReportCSVPath(reportOut string) string {
 	return reportOut + ".csv"
 }
 
-// Write emits every requested artifact: the per-stage latency table and the
-// attribution breakdown on w, then the trace, metrics, attribution CSV,
-// report HTML and report CSV files, each confirmed with one line on w. col,
-// samp and rec may each be nil (that export is skipped); info feeds the
-// report's header sections, and the recorder's summary feeds its waterfall.
-func (f *Flags) Write(w io.Writer, col *obs.Collector, samp *timeseries.Sampler, rec *attrib.Recorder, info report.RunInfo) error {
+// Write emits every requested artifact: the per-stage latency table, the
+// attribution breakdown and the host-cost tables on w, then the trace,
+// metrics, attribution CSV, host-performance file, report HTML and report
+// CSV files, each confirmed with one line on w. col, samp, rec and host may
+// each be nil (that export is skipped); info feeds the report's header
+// sections, the recorder's summary its waterfall, and the host collector's
+// summary its "Host performance" section.
+func (f *Flags) Write(w io.Writer, col *obs.Collector, samp *timeseries.Sampler, rec *attrib.Recorder, host *hostperf.Collector, info report.RunInfo) error {
 	snap := obs.Snapshot{}
 	if col != nil {
 		col.SyncTracerMetrics()
@@ -224,6 +259,22 @@ func (f *Flags) Write(w io.Writer, col *obs.Collector, samp *timeseries.Sampler,
 			fmt.Fprintf(w, "attribution written to %s (%d exemplars)\n", f.AttribOut, len(sum.Exemplars))
 		}
 	}
+	if host != nil {
+		hsum := host.Summary()
+		if info.Host == nil {
+			info.Host = hsum
+		}
+		if err := writeHostSummary(w, hsum, f.HostPerf, f.HostPerfOut); err != nil {
+			return err
+		}
+	}
+	if f.HostPerfHistory != "" && f.ReportOut != "" {
+		trend, err := LoadBenchTrend(f.HostPerfHistory)
+		if err != nil {
+			return err
+		}
+		info.HostTrend = trend
+	}
 	if f.ReportOut != "" {
 		dump := timeseries.Dump{}
 		if samp != nil {
@@ -264,4 +315,132 @@ func (f *Flags) Write(w io.Writer, col *obs.Collector, samp *timeseries.Sampler,
 		fmt.Fprintf(w, "report written to %s (%d series, csv %s)\n", f.ReportOut, n, csvPath)
 	}
 	return nil
+}
+
+// writeHostSummary prints the host-cost tables when asked and writes the
+// summary file (CSV with a .csv suffix, JSON otherwise), confirming with one
+// line on w.
+func writeHostSummary(w io.Writer, sum *hostperf.Summary, print bool, out string) error {
+	if print {
+		fmt.Fprint(w, sum.FormatTable())
+	}
+	if out != "" {
+		hf, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(out, ".csv") {
+			err = sum.WriteCSV(hf)
+		} else {
+			err = sum.WriteJSON(hf)
+		}
+		if err != nil {
+			hf.Close()
+			return err
+		}
+		if err := hf.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "host performance written to %s\n", out)
+	}
+	return nil
+}
+
+// HostFlags is the standalone -hostperf/-hostperf-out pair for commands
+// (like simcheck) that take no other observability exports, so they don't
+// grow a dozen dead flags.
+type HostFlags struct {
+	HostPerf    bool
+	HostPerfOut string
+}
+
+// Register installs the host-performance flags on fs.
+func (f *HostFlags) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&f.HostPerf, "hostperf", false,
+		"print the per-phase host cost (wall, cpu, allocs, GC) and allocs-by-subsystem breakdown")
+	fs.StringVar(&f.HostPerfOut, "hostperf-out", "",
+		"write the host-performance summary (JSON, or CSV with a .csv suffix)")
+}
+
+// Host returns a fresh host-performance collector when requested, nil
+// otherwise.
+func (f *HostFlags) Host() *hostperf.Collector {
+	if !f.HostPerf && f.HostPerfOut == "" {
+		return nil
+	}
+	return hostperf.NewCollector()
+}
+
+// Write emits the requested host-performance outputs. host may be nil (a
+// no-op).
+func (f *HostFlags) Write(w io.Writer, host *hostperf.Collector) error {
+	if host == nil {
+		return nil
+	}
+	return writeHostSummary(w, host.Summary(), f.HostPerf, f.HostPerfOut)
+}
+
+// LoadBenchTrend parses a benchjson -history JSONL file (one recorded run
+// per line, oldest first) into report trend series: one ns/op trajectory per
+// benchmark, benchmarks in sorted-name order. Runs missing a benchmark
+// simply contribute no point to its series.
+func LoadBenchTrend(path string) ([]report.TrendSeries, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	type histResult struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+	}
+	type histEntry struct {
+		Date    string       `json:"date"`
+		GitSHA  string       `json:"git_sha"`
+		Results []histResult `json:"results"`
+	}
+	var entries []histEntry
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var e histEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			return nil, fmt.Errorf("export: %s line %d: %w", path, i+1, err)
+		}
+		entries = append(entries, e)
+	}
+	var names []string
+	seen := make(map[string]bool)
+	for _, e := range entries {
+		for _, r := range e.Results {
+			if !seen[r.Name] {
+				seen[r.Name] = true
+				names = append(names, r.Name)
+			}
+		}
+	}
+	sort.Strings(names)
+	out := make([]report.TrendSeries, 0, len(names))
+	for _, name := range names {
+		s := report.TrendSeries{Name: name, Unit: "ns/op"}
+		for _, e := range entries {
+			for _, r := range e.Results {
+				if r.Name != name {
+					continue
+				}
+				label := e.GitSHA
+				if len(label) > 7 {
+					label = label[:7]
+				}
+				if label == "" {
+					label = e.Date
+				}
+				s.Points = append(s.Points, report.TrendPoint{Label: label, Value: r.NsPerOp})
+				break
+			}
+		}
+		out = append(out, s)
+	}
+	return out, nil
 }

@@ -10,6 +10,7 @@ import (
 
 	"oocnvm/internal/obs"
 	"oocnvm/internal/obs/attrib"
+	"oocnvm/internal/obs/hostperf"
 	"oocnvm/internal/obs/report"
 	"oocnvm/internal/sim"
 )
@@ -85,7 +86,7 @@ func TestWriteEmitsEveryArtifact(t *testing.T) {
 	samp.Advance(sim.Millisecond)
 
 	var out bytes.Buffer
-	if err := f.Write(&out, col, samp, nil, report.RunInfo{
+	if err := f.Write(&out, col, samp, nil, nil, report.RunInfo{
 		Title:  "export test",
 		Params: [][2]string{{"seed", "42"}},
 	}); err != nil {
@@ -123,7 +124,7 @@ func TestWriteWithNilCollectorAndSampler(t *testing.T) {
 	dir := t.TempDir()
 	f := Flags{ReportOut: filepath.Join(dir, "r.html")}
 	var out bytes.Buffer
-	if err := f.Write(&out, nil, nil, nil, report.RunInfo{Title: "empty"}); err != nil {
+	if err := f.Write(&out, nil, nil, nil, nil, report.RunInfo{Title: "empty"}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(f.ReportOut); err != nil {
@@ -183,7 +184,7 @@ func TestWriteAttributionArtifacts(t *testing.T) {
 	rec.Commit(3 * sim.Microsecond)
 
 	var out bytes.Buffer
-	if err := f.Write(&out, nil, nil, rec, report.RunInfo{Title: "attrib"}); err != nil {
+	if err := f.Write(&out, nil, nil, rec, nil, report.RunInfo{Title: "attrib"}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "latency attribution") {
@@ -234,5 +235,225 @@ func TestStartProfilesWritesArtifacts(t *testing.T) {
 	}
 	if err := stop(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRegisterOnSeparateFlagSets pins that two commands can each register
+// the full flag surface (including the hostperf flags shared by name with
+// HostFlags) on their own FlagSet without a duplicate-definition panic.
+func TestRegisterOnSeparateFlagSets(t *testing.T) {
+	var a, b Flags
+	fsA := flag.NewFlagSet("a", flag.ContinueOnError)
+	fsB := flag.NewFlagSet("b", flag.ContinueOnError)
+	a.Register(fsA)
+	b.Register(fsB)
+	var h HostFlags
+	fsC := flag.NewFlagSet("c", flag.ContinueOnError)
+	h.Register(fsC)
+	if err := fsA.Parse([]string{"-hostperf", "-hostperf-out", "h.json"}); err != nil {
+		t.Fatal(err)
+	}
+	if !a.HostPerf || a.HostPerfOut != "h.json" {
+		t.Fatalf("hostperf flags not parsed: %+v", a)
+	}
+	if b.HostPerf || b.HostPerfOut != "" {
+		t.Fatalf("flag sets leaked into each other: %+v", b)
+	}
+	if err := fsC.Parse([]string{"-hostperf"}); err != nil {
+		t.Fatal(err)
+	}
+	if !h.HostPerf {
+		t.Fatalf("HostFlags not parsed: %+v", h)
+	}
+}
+
+func TestHostCollectorGating(t *testing.T) {
+	var f Flags
+	if f.Host() != nil {
+		t.Fatal("host collector built with no hostperf flags")
+	}
+	defer hostperf.DisableAttrib()
+	g := Flags{HostPerf: true}
+	if g.Host() == nil {
+		t.Fatal("host collector missing for -hostperf")
+	}
+	hostperf.DisableAttrib()
+	h := Flags{HostPerfOut: "h.json"}
+	if h.Host() == nil {
+		t.Fatal("host collector missing for -hostperf-out")
+	}
+	var hf HostFlags
+	hostperf.DisableAttrib()
+	if hf.Host() != nil {
+		t.Fatal("HostFlags collector built when disabled")
+	}
+}
+
+func TestWriteHostPerfArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	f := Flags{
+		HostPerf:    true,
+		HostPerfOut: filepath.Join(dir, "host.csv"),
+		ReportOut:   filepath.Join(dir, "r.html"),
+	}
+	host := f.Host()
+	defer hostperf.DisableAttrib()
+	end := host.Phase("unit phase")
+	end()
+
+	var out bytes.Buffer
+	if err := f.Write(&out, nil, nil, nil, host, report.RunInfo{Title: "host"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "host performance") {
+		t.Fatalf("-hostperf table missing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "host performance written to") {
+		t.Fatalf("file confirmation missing:\n%s", out.String())
+	}
+	csv, err := os.ReadFile(f.HostPerfOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "section,name,wall_ns") {
+		t.Fatalf("host CSV header wrong: %q", strings.SplitN(string(csv), "\n", 2)[0])
+	}
+	html, err := os.ReadFile(f.ReportOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(html), "Host performance") {
+		t.Fatal("report missing the Host performance section")
+	}
+	if !strings.Contains(string(html), "unit phase") {
+		t.Fatal("report missing the recorded phase row")
+	}
+
+	// JSON output with a non-.csv suffix.
+	g := Flags{HostPerfOut: filepath.Join(dir, "host.json")}
+	ghost := g.Host()
+	out.Reset()
+	if err := g.Write(&out, nil, nil, nil, ghost, report.RunInfo{}); err != nil {
+		t.Fatal(err)
+	}
+	j, err := os.ReadFile(g.HostPerfOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(j), "\"total\"") {
+		t.Fatalf("host JSON missing totals: %s", j)
+	}
+}
+
+func TestWriteHostPerfInvalidPathErrors(t *testing.T) {
+	f := Flags{HostPerfOut: filepath.Join(t.TempDir(), "no-such-dir", "h.json")}
+	host := f.Host()
+	defer hostperf.DisableAttrib()
+	var out bytes.Buffer
+	if err := f.Write(&out, nil, nil, nil, host, report.RunInfo{}); err == nil {
+		t.Fatal("unwritable -hostperf-out accepted")
+	}
+}
+
+// TestReportBytesIdenticalWithoutHost pins the acceptance criterion that
+// enabling the hostperf machinery in the binary changes nothing unless the
+// flag is set: a nil host collector must leave report bytes exactly as
+// before.
+func TestReportBytesIdenticalWithoutHost(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string) []byte {
+		f := Flags{ReportOut: filepath.Join(dir, name)}
+		var out bytes.Buffer
+		if err := f.Write(&out, nil, nil, nil, nil, report.RunInfo{Title: "same"}); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(f.ReportOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a := write("a.html")
+	b := write("b.html")
+	if !bytes.Equal(a, b) {
+		t.Fatal("same-run reports differ")
+	}
+	if bytes.Contains(a, []byte("Host performance")) {
+		t.Fatal("Host performance section rendered without a host collector")
+	}
+}
+
+// TestProbesFreeWhenDisabled is the zero-cost contract: with attribution
+// off, a probe pair is one atomic load and must not allocate.
+func TestProbesFreeWhenDisabled(t *testing.T) {
+	hostperf.DisableAttrib()
+	allocs := testing.AllocsPerRun(1000, func() {
+		hostperf.Enter(hostperf.SiteNVMSched)
+		hostperf.Exit()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled probe pair allocates %v objects per run, want 0", allocs)
+	}
+}
+
+func TestLoadBenchTrend(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hist.jsonl")
+	lines := []string{
+		`{"date":"2026-08-01T00:00:00Z","git_sha":"aaaaaaaabbbb","results":[{"name":"BenchmarkA","ns_per_op":100},{"name":"BenchmarkB","ns_per_op":50}]}`,
+		`{"date":"2026-08-02T00:00:00Z","git_sha":"ccccccccdddd","results":[{"name":"BenchmarkA","ns_per_op":120}]}`,
+	}
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	trend, err := LoadBenchTrend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trend) != 2 {
+		t.Fatalf("got %d series, want 2", len(trend))
+	}
+	a := trend[0]
+	if a.Name != "BenchmarkA" || len(a.Points) != 2 {
+		t.Fatalf("series A wrong: %+v", a)
+	}
+	if a.Points[0].Value != 100 || a.Points[1].Value != 120 {
+		t.Errorf("series A values %+v, want [100 120]", a.Points)
+	}
+	if a.Points[0].Label != "aaaaaaa" {
+		t.Errorf("label %q, want 7-char SHA", a.Points[0].Label)
+	}
+	if b := trend[1]; b.Name != "BenchmarkB" || len(b.Points) != 1 {
+		t.Fatalf("series B wrong: %+v", b)
+	}
+
+	if _, err := LoadBenchTrend(filepath.Join(dir, "missing.jsonl")); err == nil {
+		t.Fatal("missing history accepted")
+	}
+	bad := filepath.Join(dir, "bad.jsonl")
+	os.WriteFile(bad, []byte("not json\n"), 0o644)
+	if _, err := LoadBenchTrend(bad); err == nil {
+		t.Fatal("malformed history accepted")
+	}
+}
+
+func TestHostFlagsWrite(t *testing.T) {
+	var hf HostFlags
+	var out bytes.Buffer
+	// Nil collector: no-op.
+	if err := hf.Write(&out, nil); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("nil host wrote %q", out.String())
+	}
+	hf = HostFlags{HostPerf: true}
+	host := hf.Host()
+	defer hostperf.DisableAttrib()
+	if err := hf.Write(&out, host); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "allocations by subsystem") {
+		t.Fatalf("host table missing:\n%s", out.String())
 	}
 }

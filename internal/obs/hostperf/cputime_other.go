@@ -1,0 +1,8 @@
+//go:build !unix
+
+package hostperf
+
+import "time"
+
+// cpuTime is unavailable on this platform; phase CPU columns read zero.
+func cpuTime() time.Duration { return 0 }

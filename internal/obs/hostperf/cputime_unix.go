@@ -1,0 +1,17 @@
+//go:build unix
+
+package hostperf
+
+import (
+	"syscall"
+	"time"
+)
+
+// cpuTime returns the process's cumulative user+system CPU time.
+func cpuTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}

@@ -1,0 +1,172 @@
+package hostperf
+
+import (
+	"runtime/metrics"
+	"sync/atomic"
+)
+
+// Site names one instrumented allocation subsystem. The set mirrors the
+// ROADMAP's zero-alloc hit list: the structures a future free-list/arena
+// overhaul has to recycle.
+type Site uint8
+
+const (
+	// SiteNVMSched is nvm transaction scheduling: the per-submit die
+	// buckets, plane-merge queues and activation groups built by
+	// nvm.Device.Submit — the dominant allocation source of a replay.
+	SiteNVMSched Site = iota
+	// SiteSSDRequest is the ssd request lifecycle: translating one block
+	// request into page operations (FTL mapping, GC relocation planning,
+	// Direct striping).
+	SiteSSDRequest
+	// SiteObsSpan is trace span records (obs.Tracer's bounded span buffer).
+	SiteObsSpan
+	// SiteAttrib is per-request latency-attribution records (segment chains
+	// and exemplar bookkeeping in obs/attrib).
+	SiteAttrib
+	// SiteSimWindow is in-flight window heap growth (sim.Window's min-heap
+	// backing array).
+	SiteSimWindow
+	// SiteExperiment is the experiment harness around the drive: workload
+	// trace generation, filesystem transforms, stack assembly, result
+	// slices — everything inside experiment.Run that is not an inner site.
+	SiteExperiment
+	// SiteOther is work between instrumented regions at the root of the
+	// region stack (CLI setup, export writers).
+	SiteOther
+
+	NumSites = 7
+)
+
+// String names the site for tables and JSON.
+func (s Site) String() string {
+	switch s {
+	case SiteNVMSched:
+		return "nvm-sched"
+	case SiteSSDRequest:
+		return "ssd-request"
+	case SiteObsSpan:
+		return "obs-span"
+	case SiteAttrib:
+		return "obs-attrib"
+	case SiteSimWindow:
+		return "sim-window"
+	case SiteExperiment:
+		return "experiment"
+	case SiteOther:
+		return "other"
+	}
+	return "unattributed"
+}
+
+// Region attribution: Enter/Exit bracket a subsystem's code. At every
+// boundary the heap-object counter delta since the previous boundary is
+// charged to the region that was open across it, so nested regions compose
+// exactly — an inner region's allocations never double-count into the outer
+// one, and the per-site sums plus the unattributed remainder reconstruct the
+// process total.
+//
+// The stack is process-global and unlocked: attribution is a serial
+// measurement mode (one goroutine drives the simulation). The disabled path
+// is a single atomic load and branch, pinned ~zero-cost by
+// TestProbesFreeWhenDisabled.
+var (
+	attribOn   atomic.Bool
+	siteCounts [NumSites]atomic.Int64
+
+	regionStack [64]Site
+	regionDepth int
+	lastObjs    uint64
+
+	allocSample = []metrics.Sample{{Name: allocObjsMetric}}
+)
+
+// allocObjsMetric is the one counter everything in this package reads:
+// cumulative heap objects allocated. Using a single counter for region
+// charges AND phase totals is what makes the attribution exact — two
+// different counters (say MemStats.Mallocs) disagree by unflushed
+// malloc-cache tails.
+const allocObjsMetric = "/gc/heap/allocs:objects"
+
+// heapObjects reads the cumulative allocated-objects counter. Unlike
+// runtime.ReadMemStats this does not stop the world, so it is cheap enough
+// for per-request region boundaries.
+func heapObjects() uint64 {
+	metrics.Read(allocSample)
+	return allocSample[0].Value.Uint64()
+}
+
+// EnableAttrib turns the attribution probes on. NewCollector calls it; tests
+// may call it directly (paired with DisableAttrib).
+func EnableAttrib() {
+	if attribOn.Load() {
+		return
+	}
+	regionDepth = 0
+	lastObjs = heapObjects()
+	attribOn.Store(true)
+}
+
+// DisableAttrib turns the probes back off (the counters keep their values).
+func DisableAttrib() { attribOn.Store(false) }
+
+// AttribActive reports whether the attribution measurement mode is on.
+// experiment.Matrix consults it to serialize its workers: concurrent cells
+// would interleave their regions on the global stack.
+func AttribActive() bool { return attribOn.Load() }
+
+// Enter opens a region attributed to site. Every Enter must be paired with
+// exactly one Exit on the same goroutine; prefer bracketing straight-line
+// code over deferring past early returns.
+func Enter(site Site) {
+	if !attribOn.Load() {
+		return
+	}
+	now := heapObjects()
+	charge(now)
+	if regionDepth < len(regionStack) {
+		regionStack[regionDepth] = site
+	}
+	regionDepth++
+}
+
+// Exit closes the innermost region, charging the allocations since the last
+// boundary to it.
+func Exit() {
+	if !attribOn.Load() {
+		return
+	}
+	now := heapObjects()
+	charge(now)
+	if regionDepth > 0 {
+		regionDepth--
+	}
+}
+
+// charge books the counter delta to the currently open region (or SiteOther
+// at the root) and advances the boundary mark.
+func charge(now uint64) {
+	site := SiteOther
+	if regionDepth > 0 && regionDepth <= len(regionStack) {
+		site = regionStack[regionDepth-1]
+	}
+	if d := now - lastObjs; d > 0 {
+		// The boundary reads themselves allocate nothing after the first
+		// call (the sample slice is package state), so the delta is the
+		// region's own work.
+		siteCounts[site].Add(int64(d))
+	}
+	lastObjs = now
+}
+
+// siteSnapshot copies the cumulative per-site counters.
+func siteSnapshot() (out [NumSites]int64) {
+	for i := range siteCounts {
+		out[i] = siteCounts[i].Load()
+	}
+	return out
+}
+
+// SiteAllocs reports the cumulative allocation objects charged to one site
+// (process lifetime, across collectors) — the handle guard tests pin.
+func SiteAllocs(site Site) int64 { return siteCounts[site].Load() }

@@ -11,9 +11,11 @@ import (
 	"html"
 	"io"
 	"strings"
+	"time"
 
 	"oocnvm/internal/obs"
 	"oocnvm/internal/obs/attrib"
+	"oocnvm/internal/obs/hostperf"
 	"oocnvm/internal/obs/timeseries"
 	"oocnvm/internal/sim"
 )
@@ -30,6 +32,29 @@ type RunInfo struct {
 	// Attrib, when set, adds the latency-anatomy section: the per-component
 	// breakdown table and the slow-request waterfall.
 	Attrib *attrib.Summary
+	// Host, when set, adds the host-performance section: the per-phase
+	// host-cost table and the allocs-by-subsystem breakdown of the simulator
+	// process itself. Reports of runs without -hostperf carry a nil Host and
+	// stay byte-identical to pre-hostperf reports.
+	Host *hostperf.Summary
+	// HostTrend, when set, adds benchmark-trajectory sparklines (one series
+	// per benchmark recorded in a bench history file) to the
+	// host-performance section.
+	HostTrend []TrendSeries
+}
+
+// TrendPoint is one historical benchmark observation.
+type TrendPoint struct {
+	Label string  // run identity (short git SHA or date)
+	Value float64 // the tracked metric, ns/op unless Unit says otherwise
+}
+
+// TrendSeries is one benchmark's trajectory across recorded runs, oldest
+// first.
+type TrendSeries struct {
+	Name   string
+	Unit   string
+	Points []TrendPoint
 }
 
 // chart geometry (SVG user units).
@@ -56,6 +81,7 @@ func WriteHTML(w io.Writer, info RunInfo, snap obs.Snapshot, dump timeseries.Dum
 	writeAttrib(&b, info.Attrib)
 	writeLatencyTable(&b, snap)
 	writeCounters(&b, snap)
+	writeHostPerf(&b, info.Host, info.HostTrend)
 	if info.FaultSummary != "" {
 		fmt.Fprintf(&b, "<section><h2>Fault summary</h2><pre>%s</pre></section>\n",
 			html.EscapeString(info.FaultSummary))
@@ -579,6 +605,185 @@ func fmtBytes(n int64) string {
 		return fmt.Sprintf("%dMiB", n>>20)
 	case n >= 1<<10 && n%(1<<10) == 0:
 		return fmt.Sprintf("%dKiB", n>>10)
+	}
+	return fmt.Sprintf("%dB", n)
+}
+
+// host-performance bar geometry (SVG user units).
+const (
+	hpLabelX = 4   // subsystem label anchor
+	hpX0     = 150 // bar origin
+	hpX1     = 560 // bar extent at the largest subsystem
+	hpValueX = 568 // direct count label anchor
+	hpRowH   = 24
+	hpBarH   = 14
+	hpTopPad = 6
+)
+
+// writeHostPerf renders the host-performance section: what the simulator
+// process itself cost to produce this run — per-phase resource table,
+// allocs-by-subsystem bars, and (when a bench history is supplied) the
+// benchmark-trajectory sparklines. Entirely absent when the run was not
+// driven with -hostperf.
+func writeHostPerf(b *strings.Builder, host *hostperf.Summary, trend []TrendSeries) {
+	if host == nil && len(trend) == 0 {
+		return
+	}
+	b.WriteString("<h2>Host performance</h2>\n")
+	if host != nil {
+		writeHostPhases(b, host)
+		writeHostSites(b, host)
+	}
+	writeHostTrend(b, trend)
+}
+
+func writeHostPhases(b *strings.Builder, host *hostperf.Summary) {
+	b.WriteString("<section class=\"card\">\n<p class=\"chart-title\">Per-phase host cost</p>\n<p class=\"chart-sub\">wall-clock resources of the simulator process, per run phase</p>\n<table>\n")
+	b.WriteString("<tr><th>phase</th><th class=\"num\">wall</th><th class=\"num\">cpu</th><th class=\"num\">allocs</th><th class=\"num\">alloc bytes</th><th class=\"num\">gc</th><th class=\"num\">pause</th></tr>\n")
+	row := func(p hostperf.PhaseCost) {
+		fmt.Fprintf(b, "<tr><td>%s</td><td class=\"num\">%s</td><td class=\"num\">%s</td><td class=\"num\">%d</td><td class=\"num\">%s</td><td class=\"num\">%d</td><td class=\"num\">%s</td></tr>\n",
+			html.EscapeString(p.Name),
+			html.EscapeString(p.Wall.Round(time.Microsecond).String()),
+			html.EscapeString(p.CPU.Round(time.Microsecond).String()),
+			p.AllocObjs, html.EscapeString(fmtByteCount(p.AllocBytes)),
+			p.GCCycles, html.EscapeString(p.GCPause.Round(time.Microsecond).String()))
+	}
+	for _, p := range host.Phases {
+		row(p)
+	}
+	row(host.Total)
+	b.WriteString("</table></section>\n")
+}
+
+// writeHostSites draws one horizontal bar per instrumented subsystem, scaled
+// to the largest. Each site keeps a fixed palette slot (color follows the
+// subsystem, never its rank); the unattributed remainder wears the muted
+// "other" fill.
+func writeHostSites(b *strings.Builder, host *hostperf.Summary) {
+	if len(host.Sites) == 0 {
+		return
+	}
+	var max int64
+	for _, sc := range host.Sites {
+		if sc.Objs > max {
+			max = sc.Objs
+		}
+	}
+	fmt.Fprintf(b, "<section class=\"card\">\n<p class=\"chart-title\">Allocations by subsystem</p>\n<p class=\"chart-sub\">%d heap objects total · %.1f%% attributed to instrumented sites</p>\n",
+		host.Total.AllocObjs, host.AttributedFraction()*100)
+	h := hpTopPad + len(host.Sites)*hpRowH
+	fmt.Fprintf(b, "<svg viewBox=\"0 0 %d %d\" role=\"img\" aria-label=\"allocation count per subsystem\">\n", chartW, h)
+	for i, sc := range host.Sites {
+		rowY := float64(hpTopPad + i*hpRowH)
+		barY := rowY + float64(hpRowH-hpBarH)/2
+		midY := barY + float64(hpBarH)/2
+		fill := "var(--series-other)"
+		if sc.Site < hostperf.NumSites {
+			fill = fmt.Sprintf("var(--series-%d)", int(sc.Site)+1)
+		}
+		fmt.Fprintf(b, "<text x=\"%d\" y=\"%s\" fill=\"var(--text-secondary)\" font-size=\"11\" dominant-baseline=\"middle\">%s</text>\n",
+			hpLabelX, f2(midY), html.EscapeString(sc.Name))
+		if max > 0 && sc.Objs > 0 {
+			w := float64(sc.Objs) / float64(max) * float64(hpX1-hpX0)
+			if w < 1 {
+				w = 1 // sub-pixel counts keep a visible hairline
+			}
+			fmt.Fprintf(b, "<rect x=\"%d\" y=\"%s\" width=\"%s\" height=\"%d\" rx=\"1\" fill=\"%s\"><title>%s</title></rect>\n",
+				hpX0, f2(barY), f2(w), hpBarH, fill,
+				html.EscapeString(fmt.Sprintf("%s · %d objects (%.1f%%)", sc.Name, sc.Objs, sc.Share*100)))
+		}
+		fmt.Fprintf(b, "<text x=\"%d\" y=\"%s\" fill=\"var(--text-secondary)\" font-size=\"11\" dominant-baseline=\"middle\">%d (%.1f%%)</text>\n",
+			hpValueX, f2(midY), sc.Objs, sc.Share*100)
+	}
+	b.WriteString("</svg>\n</section>\n")
+}
+
+// sparkline geometry (SVG user units).
+const (
+	sparkW = 160
+	sparkH = 28
+	sparkP = 3 // inner padding
+)
+
+// writeHostTrend renders one sparkline row per benchmark from the recorded
+// history, oldest run at the left.
+func writeHostTrend(b *strings.Builder, trend []TrendSeries) {
+	if len(trend) == 0 {
+		return
+	}
+	b.WriteString("<section class=\"card\">\n<p class=\"chart-title\">Benchmark trajectory</p>\n<p class=\"chart-sub\">per recorded run, oldest to newest</p>\n<table>\n")
+	b.WriteString("<tr><th>benchmark</th><th>trend</th><th class=\"num\">first</th><th class=\"num\">last</th></tr>\n")
+	for _, s := range trend {
+		if len(s.Points) == 0 {
+			continue
+		}
+		first, last := s.Points[0], s.Points[len(s.Points)-1]
+		fmt.Fprintf(b, "<tr><td>%s</td><td>", html.EscapeString(s.Name))
+		writeSparkline(b, s)
+		unit := s.Unit
+		if unit == "" {
+			unit = "ns/op"
+		}
+		fmt.Fprintf(b, "</td><td class=\"num\">%s</td><td class=\"num\">%s</td></tr>\n",
+			html.EscapeString(fmt.Sprintf("%.4g %s", first.Value, unit)),
+			html.EscapeString(fmt.Sprintf("%.4g %s", last.Value, unit)))
+	}
+	b.WriteString("</table></section>\n")
+}
+
+func writeSparkline(b *strings.Builder, s TrendSeries) {
+	fmt.Fprintf(b, "<svg viewBox=\"0 0 %d %d\" style=\"width:%dpx;height:%dpx;display:inline-block;vertical-align:middle\" role=\"img\" aria-label=\"%s trend\">\n",
+		sparkW, sparkH, sparkW, sparkH, html.EscapeString(s.Name))
+	var hi float64
+	for _, p := range s.Points {
+		if p.Value > hi {
+			hi = p.Value
+		}
+	}
+	if hi == 0 {
+		hi = 1
+	}
+	x := func(i int) float64 {
+		if len(s.Points) == 1 {
+			return sparkW / 2
+		}
+		return sparkP + float64(i)/float64(len(s.Points)-1)*float64(sparkW-2*sparkP)
+	}
+	y := func(v float64) float64 {
+		return float64(sparkH-sparkP) - v/hi*float64(sparkH-2*sparkP)
+	}
+	if len(s.Points) == 1 {
+		p := s.Points[0]
+		fmt.Fprintf(b, "<circle cx=\"%s\" cy=\"%s\" r=\"2.5\" fill=\"var(--series-1)\"><title>%s  %.4g</title></circle>\n",
+			f2(x(0)), f2(y(p.Value)), html.EscapeString(p.Label), p.Value)
+	} else {
+		b.WriteString("<polyline fill=\"none\" stroke=\"var(--series-1)\" stroke-width=\"1.5\" stroke-linejoin=\"round\" points=\"")
+		for i, p := range s.Points {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(b, "%s,%s", f2(x(i)), f2(y(p.Value)))
+		}
+		b.WriteString("\"/>\n")
+		// Hover targets: one slice per recorded run.
+		bw := float64(sparkW) / float64(len(s.Points))
+		for i, p := range s.Points {
+			fmt.Fprintf(b, "<rect x=\"%s\" y=\"0\" width=\"%s\" height=\"%d\" fill=\"transparent\"><title>%s  %.4g</title></rect>\n",
+				f2(float64(i)*bw), f2(bw), sparkH, html.EscapeString(p.Label), p.Value)
+		}
+	}
+	b.WriteString("</svg>")
+}
+
+// fmtByteCount renders a byte total with a binary unit, one decimal.
+func fmtByteCount(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
 	}
 	return fmt.Sprintf("%dB", n)
 }

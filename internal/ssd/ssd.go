@@ -16,6 +16,7 @@ import (
 	"oocnvm/internal/nvm"
 	"oocnvm/internal/obs"
 	"oocnvm/internal/obs/attrib"
+	"oocnvm/internal/obs/hostperf"
 	"oocnvm/internal/obs/timeseries"
 	"oocnvm/internal/sim"
 	"oocnvm/internal/trace"
@@ -463,6 +464,10 @@ func (s *SSD) Submit(op trace.BlockOp) (sim.Time, error) {
 		s.att.Abort()
 		return s.clock, err
 	}
+	// Translation (FTL mapping, GC relocation planning, Direct striping)
+	// builds the request's page-op slice; the hostperf region charges it to
+	// the ssd-request subsystem.
+	hostperf.Enter(hostperf.SiteSSDRequest)
 	var pageOps []nvm.PageOp
 	switch op.Kind {
 	case trace.Read:
@@ -472,6 +477,7 @@ func (s *SSD) Submit(op trace.BlockOp) (sim.Time, error) {
 	case trace.Erase:
 		pageOps = s.trans.Erase(op.Offset, op.Size)
 	}
+	hostperf.Exit()
 	issue := s.win.Admit(s.clock, op.Size)
 	// Queue covers both the sync barrier drain and window admission: arrive
 	// was stamped before the drain, so issue-arrive is the whole wait.
@@ -558,7 +564,9 @@ func (s *SSD) recover(at sim.Time) sim.Time {
 				s.faults.Degrade()
 				return at
 			}
+			hostperf.Enter(hostperf.SiteSSDRequest)
 			r := br.RetireBlock(f.PPN)
+			hostperf.Exit()
 			if !r.OK {
 				s.faults.Degrade()
 				return at
