@@ -21,13 +21,14 @@ fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 # Short bounded fuzz pass over the FTL mapping, ECC classification,
-# workload-codec and checkpoint torn-write harnesses; FUZZTIME=1m make fuzz
-# for a longer soak.
+# workload-codec, checkpoint torn-write and power-cut crash-recovery
+# harnesses; FUZZTIME=1m make fuzz for a longer soak.
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzFTLMapping -fuzztime=$(FUZZTIME) ./internal/ftl
 	$(GO) test -run=^$$ -fuzz=FuzzReadClassify -fuzztime=$(FUZZTIME) ./internal/fault
 	$(GO) test -run=^$$ -fuzz=FuzzWorkloadRoundTrip -fuzztime=$(FUZZTIME) ./internal/check
 	$(GO) test -run=^$$ -fuzz=FuzzCkptTornWrite -fuzztime=$(FUZZTIME) ./internal/ckpt
+	$(GO) test -run=^$$ -fuzz=FuzzCrashRecovery -fuzztime=$(FUZZTIME) ./internal/check
 
 # One pass over every figure/table benchmark, archived as JSON for diffing
 # between commits and appended to the continuous-bench history the HTML

@@ -49,6 +49,7 @@ func main() {
 		netProf  string
 		retDays  = flag.Float64("retention-days", 0, "age all data by this many days of retention")
 		precycle = flag.Int64("precycle", 0, "pre-age every block by this many P/E cycles")
+		durCkpt  = flag.Int64("durable-ckpt", 0, "FTL durable-metadata mode: checkpoint the mapping table every N host pages (0 = off)")
 		exp      export.Flags
 	)
 	exp.Register(flag.CommandLine)
@@ -71,6 +72,7 @@ func main() {
 	opt.Fault = prof
 	opt.RetentionDays = *retDays
 	opt.PrecyclePE = *precycle
+	opt.DurableCheckpointPages = *durCkpt
 	opt.NetProfile = netProf
 	opt.Obs = exp.Collector()
 	samp := exp.Sampler()

@@ -38,6 +38,7 @@ type options struct {
 	retentionDays float64
 	precycle      int64
 	spares        int64
+	durableCkpt   int64
 }
 
 func main() {
@@ -57,6 +58,7 @@ func main() {
 	flag.Float64Var(&o.retentionDays, "retention-days", 0, "age all data by this many days of retention")
 	flag.Int64Var(&o.precycle, "precycle", 0, "pre-age every block by this many P/E cycles")
 	flag.Int64Var(&o.spares, "spares", 0, "spare-block budget before read-only degradation (0 = default)")
+	flag.Int64Var(&o.durableCkpt, "durable-ckpt", 0, "FTL durable-metadata mode: checkpoint the mapping table every N host pages (0 = off)")
 	flag.Parse()
 	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "replay:", err)
@@ -121,7 +123,11 @@ func run(o options, w io.Writer) (retErr error) {
 	if cfg.Kind == experiment.FSUFS {
 		translator = ssd.NewDirect(geo, cp)
 	} else {
-		ft, err := ftl.New(geo, cp, ftl.Config{})
+		var dc ftl.DurableConfig
+		if o.durableCkpt > 0 {
+			dc = ftl.DurableConfig{Enabled: true, CheckpointEveryPages: o.durableCkpt}
+		}
+		ft, err := ftl.New(geo, cp, ftl.Config{Durable: dc})
 		if err != nil {
 			return err
 		}

@@ -420,3 +420,45 @@ func TestReplayNetProfileStaging(t *testing.T) {
 		t.Fatal("unknown net profile accepted")
 	}
 }
+
+// TestDurableReportSurface pins the crash-consistency acceptance criterion
+// on the artifact surface: without -durable-ckpt the report carries no
+// trace of the durable-metadata machinery (no journal/checkpoint series,
+// no meta-journal attribution component), and with it set the journal and
+// checkpoint series appear.
+func TestDurableReportSurface(t *testing.T) {
+	file := writeTestTrace(t)
+	render := func(durable int64) string {
+		dir := t.TempDir()
+		opts := options{
+			file: file, cfgName: "CNL-EXT4", cellName: "TLC", qd: 32, seed: 7,
+			durableCkpt: durable,
+			exp: export.Flags{
+				ReportOut: filepath.Join(dir, "report.html"),
+				SampleUS:  100,
+				Attrib:    true,
+			},
+		}
+		var out bytes.Buffer
+		if err := run(opts, &out); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(opts.exp.ReportOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	off := render(0)
+	for _, s := range []string{"ftl.journal", "ftl.ckpt", "meta-journal"} {
+		if strings.Contains(off, s) {
+			t.Fatalf("durable-off report mentions %q", s)
+		}
+	}
+	on := render(64)
+	for _, s := range []string{"ftl.journal_pages", "ftl.ckpt_pages"} {
+		if !strings.Contains(on, s) {
+			t.Fatalf("durable-on report missing %q", s)
+		}
+	}
+}

@@ -28,19 +28,24 @@ import (
 	"oocnvm/internal/fault"
 	"oocnvm/internal/nvm"
 	"oocnvm/internal/obs/export"
+	"oocnvm/internal/trace"
 )
 
 type options struct {
-	episodes    int
-	configs     string
-	cells       string
-	faultName   string
-	netProfile  string
-	seed        uint64
-	ops         int
-	metamorphic bool
-	shrink      bool
-	host        export.HostFlags
+	episodes      int
+	configs       string
+	cells         string
+	faultName     string
+	netProfile    string
+	seed          uint64
+	ops           int
+	metamorphic   bool
+	shrink        bool
+	crashSweep    bool
+	crashEvery    int64
+	crashTraceOut string
+	crashStudy    bool
+	host          export.HostFlags
 }
 
 func cellForName(name string) (nvm.CellType, error) {
@@ -172,6 +177,80 @@ func run(opt options, out io.Writer) error {
 		endMeta()
 	}
 
+	crashPoints := 0
+	if opt.crashSweep {
+		endCrash := host.Phase("crash sweep")
+		fmt.Fprintf(out, "\ncrash-point sweep (durability contract):\n")
+		for _, cfg := range configs {
+			if cfg.Kind == experiment.FSUFS {
+				// UFS runs without an FTL — there is no durable mapping
+				// metadata to crash and recover.
+				continue
+			}
+			for _, cell := range cells {
+				pair := fmt.Sprintf("%s/%v", cfg.Name, cell)
+				sc := check.StackConfig{Config: cfg, Cell: cell, Seed: opt.seed}
+				p := check.DefaultParams(sc.Capacity(), nvm.Params(cell).PageSize)
+				if opt.ops > 0 {
+					p.Ops = opt.ops
+				}
+				res, err := check.CrashSweep(sc, p, opt.crashEvery)
+				if err != nil {
+					endCrash()
+					return fmt.Errorf("%s crash sweep: %w", pair, err)
+				}
+				crashPoints += res.Points
+				det := "deterministic"
+				if !res.DeterminismOK {
+					det = "NON-DETERMINISTIC"
+				}
+				fmt.Fprintf(out, "  %-16s %3d crash points over %5d P/E boundaries  %s  %d failing\n",
+					pair, res.Points, res.TotalPEOps, det, len(res.Failures))
+				for _, f := range res.Failures {
+					failures = append(failures, failure{
+						where: fmt.Sprintf("%s crash %+v", pair, f.Plan), viol: f.Violations[0]})
+					if len(f.Trace) > 0 {
+						fmt.Fprintf(out, "  minimized crash reproducer for %s (%d requests):\n", pair, len(f.Trace))
+						for _, op := range f.Trace {
+							fmt.Fprintf(out, "    %v offset=%d size=%d sync=%v\n", op.Kind, op.Offset, op.Size, op.Sync)
+						}
+						if opt.crashTraceOut != "" {
+							if err := writeTrace(opt.crashTraceOut, f.Trace); err != nil {
+								endCrash()
+								return err
+							}
+							fmt.Fprintf(out, "  reproducer written to %s\n", opt.crashTraceOut)
+						}
+					}
+				}
+			}
+		}
+		endCrash()
+	}
+
+	if opt.crashStudy {
+		endStudy := host.Phase("crash study")
+		fmt.Fprintf(out, "\ncheckpoint-interval study (Fig 7a workload + Ψ checkpoints, cut at 75%% of P/E boundaries):\n")
+		cfg := configs[0]
+		if cfg.Kind == experiment.FSUFS {
+			endStudy()
+			return fmt.Errorf("simcheck: -crash-study needs an FTL configuration, %s has none", cfg.Name)
+		}
+		sopt := experiment.TestOptions()
+		// The eigensolver's Fig 7a phase is read-intensive; enable its Ψ
+		// checkpoint writes so the journal and mapping churn are actually
+		// exercised between the cut and the last metadata checkpoint.
+		sopt.Workload.PsiBytes = 2 * sopt.Workload.PanelBytes
+		sopt.Workload.Applications = 4
+		rows, err := check.CrashStudy(cfg, cells[0], sopt,
+			[]int64{128, 512, 2048, 8192})
+		endStudy()
+		if err != nil {
+			return err
+		}
+		check.WriteStudy(out, rows)
+	}
+
 	if opt.netProfile != "" {
 		endNet := host.Phase("netfault scenarios")
 		fmt.Fprintf(out, "\nnetwork degradation scenarios:\n")
@@ -187,8 +266,8 @@ func run(opt options, out io.Writer) error {
 			"netfault/"+nsum.Profile, nsum.Runs, nsum.Chunks, nsum.Attributed, nsum.Retries, len(nsum.Violations))
 	}
 
-	fmt.Fprintf(out, "\nsimcheck: %d episodes, %d requests (%d attribution-conserving), %d metamorphic checks, %d violations\n",
-		episodes, requests, attributed, metaChecks, len(failures))
+	fmt.Fprintf(out, "\nsimcheck: %d episodes, %d requests (%d attribution-conserving), %d metamorphic checks, %d crash points, %d violations\n",
+		episodes, requests, attributed, metaChecks, crashPoints, len(failures))
 	if err := opt.host.Write(out, host); err != nil {
 		return err
 	}
@@ -230,6 +309,20 @@ func run(opt options, out io.Writer) error {
 	return fmt.Errorf("simcheck: %d violations", len(failures))
 }
 
+// writeTrace dumps a reproducer trace in the binary block-trace format the
+// replay command accepts.
+func writeTrace(path string, ops []trace.BlockOp) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteBlockTrace(f, ops); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func main() {
 	var opt options
 	flag.IntVar(&opt.episodes, "episodes", 10, "seeded episodes per (config, cell) pair")
@@ -241,6 +334,10 @@ func main() {
 	flag.IntVar(&opt.ops, "ops", 0, "requests per episode (0 = sized to device capacity)")
 	flag.BoolVar(&opt.metamorphic, "metamorphic", true, "run metamorphic invariant checks")
 	flag.BoolVar(&opt.shrink, "shrink", true, "minimize the first failing episode on violation")
+	flag.BoolVar(&opt.crashSweep, "crash-sweep", false, "crash a seeded workload at every Nth program/erase boundary and assert the durability contract after mount-time recovery")
+	flag.Int64Var(&opt.crashEvery, "crash-every", 0, "crash-point stride in P/E boundaries (0 = about 12 points)")
+	flag.StringVar(&opt.crashTraceOut, "crash-trace-out", "", "write the first failing crash point's minimized reproducer trace to this file")
+	flag.BoolVar(&opt.crashStudy, "crash-study", false, "measure journal write amplification vs mount-time recovery cost across checkpoint intervals on the Fig 7a workload")
 	opt.host.Register(flag.CommandLine)
 	flag.Parse()
 	if err := run(opt, os.Stdout); err != nil {

@@ -1,0 +1,48 @@
+package check
+
+import (
+	"testing"
+
+	"oocnvm/internal/experiment"
+	"oocnvm/internal/fault"
+	"oocnvm/internal/nvm"
+	"oocnvm/internal/sim"
+)
+
+// FuzzCrashRecovery cuts power at a fuzzed program/erase boundary of a
+// fuzzed seeded workload and requires the durability contract to hold after
+// the mount-time recovery: every write acked before the cut must read back
+// bit-exact against the shadow oracle, no torn page may ever be served as
+// clean, and the recovered FTL must pass its structural invariants. A cut
+// point past the trace's last boundary degenerates to a clean-shutdown
+// mount, which must also satisfy the contract.
+func FuzzCrashRecovery(f *testing.F) {
+	f.Add(uint64(1), uint32(25), uint16(60))
+	f.Add(uint64(7), uint32(1), uint16(40))
+	f.Add(uint64(42), uint32(999), uint16(120))
+	f.Add(uint64(3), uint32(5000), uint16(80))
+	cfg, err := experiment.FindConfig("CNL-EXT4")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64, cut uint32, n uint16) {
+		sc := StackConfig{Config: cfg, Cell: nvm.MLC, Seed: seed}
+		p := crashParams(sc)
+		// Bound the trace so each fuzz iteration stays cheap while leaving
+		// enough writes to cross checkpoint and GC activity.
+		p.Ops = int(n)%p.Ops + 40
+		ops := Generate(p, sim.NewRNG(seed))
+		plan := fault.CrashPlan{AfterOps: int64(cut%8192) + 1}
+		res, err := CrashReplay(sc, ops, plan)
+		if err != nil {
+			t.Fatalf("crash replay: %v", err)
+		}
+		if res.RecoverErr != nil {
+			t.Fatalf("crash at %+v: recovery failed: %v", plan, res.RecoverErr)
+		}
+		for _, v := range res.Violations {
+			t.Fatalf("crash at %+v (fired=%v, pe=%d): durability violation: %v",
+				plan, res.Crashed, res.PEOps, v)
+		}
+	})
+}

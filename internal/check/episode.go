@@ -25,6 +25,11 @@ type StackConfig struct {
 	// Flip, when set, is installed as the Checked wrapper's FlipOffset
 	// test hook (an intentionally injected translation defect).
 	Flip func(int64) int64
+	// Durable enables the FTL's durable-metadata model (journal +
+	// checkpoints + OOB tags). Required for crash episodes.
+	Durable ftl.DurableConfig
+	// Crash, when set, arms a deterministic power cut on the injector.
+	Crash *fault.CrashPlan
 }
 
 // SmallGeometry is the episode device: large enough to exercise striping,
@@ -41,12 +46,22 @@ func (sc StackConfig) geometry() nvm.Geometry {
 	return sc.Geometry
 }
 
+// stack bundles one assembled checked drive with everything an episode (or
+// a crash replay) needs to interrogate afterwards.
+type stack struct {
+	drive   *ssd.SSD
+	checked *Checked
+	env     Envelope
+	rec     *attrib.Recorder
+	inj     *fault.Injector
+}
+
 // buildStack assembles the checked drive for the config. The returned
 // Checked wrapper carries the oracle; the envelope is derived from the same
 // configuration the stack was built from. Every checked stack also carries
 // a latency-attribution recorder so each episode exercises the attribution
 // conservation envelope alongside the oracle.
-func buildStack(sc StackConfig) (*ssd.SSD, *Checked, Envelope, *attrib.Recorder, error) {
+func buildStack(sc StackConfig) (stack, error) {
 	geo := sc.geometry()
 	cell := nvm.Params(sc.Cell)
 
@@ -54,9 +69,9 @@ func buildStack(sc StackConfig) (*ssd.SSD, *Checked, Envelope, *attrib.Recorder,
 	if sc.Config.Kind == experiment.FSUFS {
 		inner = ssd.NewDirect(geo, cell)
 	} else {
-		f, err := ftl.New(geo, cell, ftl.Config{})
+		f, err := ftl.New(geo, cell, ftl.Config{Durable: sc.Durable})
 		if err != nil {
-			return nil, nil, Envelope{}, nil, err
+			return stack{}, err
 		}
 		inner = f
 	}
@@ -64,11 +79,14 @@ func buildStack(sc StackConfig) (*ssd.SSD, *Checked, Envelope, *attrib.Recorder,
 	checked.FlipOffset = sc.Flip
 
 	var inj *fault.Injector
-	if sc.Fault.Enabled() {
+	if sc.Fault.Enabled() || sc.Crash != nil {
 		var err error
 		inj, err = fault.New(nvm.FaultConfig(geo, cell, sc.Fault, sc.Seed))
 		if err != nil {
-			return nil, nil, Envelope{}, nil, err
+			return stack{}, err
+		}
+		if sc.Crash != nil {
+			inj.ArmCrash(*sc.Crash)
 		}
 	}
 
@@ -86,9 +104,9 @@ func buildStack(sc StackConfig) (*ssd.SSD, *Checked, Envelope, *attrib.Recorder,
 		Attrib:     rec,
 	})
 	if err != nil {
-		return nil, nil, Envelope{}, nil, err
+		return stack{}, err
 	}
-	return drive, checked, NewEnvelope(geo, cell, sc.Config.Bus, link), rec, nil
+	return stack{drive: drive, checked: checked, env: NewEnvelope(geo, cell, sc.Config.Bus, link), rec: rec, inj: inj}, nil
 }
 
 // Capacity reports the stack's device capacity in bytes (for sizing
@@ -121,15 +139,16 @@ func RunEpisode(sc StackConfig, p Params) (EpisodeResult, error) {
 // is the primitive both RunEpisode and the shrinker use: building a new
 // stack per attempt keeps every replay independent and deterministic.
 func Replay(sc StackConfig, ops []trace.BlockOp) (EpisodeResult, error) {
-	drive, checked, env, rec, err := buildStack(sc)
+	st, err := buildStack(sc)
 	if err != nil {
 		return EpisodeResult{}, err
 	}
+	drive := st.drive
 	res := drive.Replay(ops)
 
-	out := EpisodeResult{Trace: ops, Result: res, Attrib: rec.Summary()}
-	out.Violations = append(out.Violations, checked.Oracle().Violations()...)
-	out.Violations = append(out.Violations, env.Check(res)...)
+	out := EpisodeResult{Trace: ops, Result: res, Attrib: st.rec.Summary()}
+	out.Violations = append(out.Violations, st.checked.Oracle().Violations()...)
+	out.Violations = append(out.Violations, st.env.Check(res)...)
 	out.Violations = append(out.Violations, CheckAttribution(out.Attrib)...)
 	// Fault-free stacks must not error: the generator never leaves the
 	// device, so any surfaced error is the stack's own defect.

@@ -112,6 +112,17 @@ func (c *Checked) RetireBlock(ppn int64) nvm.Retirement {
 	return nvm.Retirement{}
 }
 
+// MediaTap forwards the inner translator's durable-media tap (nil when the
+// inner translator does not model durable metadata), so a checked stack
+// mirrors programs and erases into the media model exactly like an
+// unchecked one.
+func (c *Checked) MediaTap() nvm.MediaTap {
+	if mt, ok := c.inner.(interface{ MediaTap() nvm.MediaTap }); ok {
+		return mt.MediaTap()
+	}
+	return nil
+}
+
 // SetProbe forwards observability wiring to the inner translator, so a
 // checked stack reports the same obs counters an unchecked one does.
 func (c *Checked) SetProbe(p obs.Probe) { obs.Instrument(c.inner, p) }

@@ -56,6 +56,11 @@ type Options struct {
 	// model cluster-network staging (preload, checkpoint drain) apply to
 	// it; "" or "none" is the clean fabric.
 	NetProfile string
+	// DurableCheckpointPages, when > 0, enables the FTL's durable-metadata
+	// model (journal + checkpoints + OOB tags) with a mapping-table
+	// checkpoint every N host-written pages. Zero leaves the model off, so
+	// existing runs and their reports are byte-identical.
+	DurableCheckpointPages int64
 	// Host, when non-nil, records each evaluation cell as one host-perf
 	// phase (wall time, CPU, allocations, GC) and turns on allocation-site
 	// attribution. This is a measurement mode: Matrix serializes its
@@ -138,6 +143,14 @@ func Run(cfg Config, cell nvm.CellType, opt Options) (Measurement, error) {
 	return m, nil
 }
 
+// BlockTrace exposes the device-level trace a configuration's software
+// stack emits for the workload (with its in-flight window), so external
+// studies — like the crash-point MTTR sweep — can drive the exact Figure 7a
+// request stream through their own stacks.
+func BlockTrace(cfg Config, cell nvm.CellType, opt Options) ([]trace.BlockOp, int64, error) {
+	return blockTrace(cfg, cell, opt)
+}
+
 // blockTrace produces the device-level trace a configuration's software
 // stack emits for the workload, along with the stack's in-flight window.
 func blockTrace(cfg Config, cell nvm.CellType, opt Options) ([]trace.BlockOp, int64, error) {
@@ -168,7 +181,11 @@ func replay(cfg Config, cell nvm.CellType, opt Options, ops []trace.BlockOp, win
 	if cfg.Kind == FSUFS {
 		translator = ssd.NewDirect(opt.Geometry, cp)
 	} else {
-		f, err := ftl.New(opt.Geometry, cp, ftl.Config{})
+		var dc ftl.DurableConfig
+		if opt.DurableCheckpointPages > 0 {
+			dc = ftl.DurableConfig{Enabled: true, CheckpointEveryPages: opt.DurableCheckpointPages}
+		}
+		f, err := ftl.New(opt.Geometry, cp, ftl.Config{Durable: dc})
 		if err != nil {
 			return ssd.Result{}, err
 		}

@@ -1,0 +1,74 @@
+package fault
+
+import (
+	"errors"
+
+	"oocnvm/internal/sim"
+)
+
+// ErrPowerLoss reports that the simulated drive lost power: an armed crash
+// plan fired, and every request after the cut point is rejected until the
+// stack is rebuilt and remounted. Wrap it so callers can errors.Is it.
+var ErrPowerLoss = errors.New("fault: power loss")
+
+// CrashPlan names a deterministic power-cut point. A crash fires at the
+// Nth NAND program/erase boundary (AfterOps > 0, counted from arming) or
+// at a simulated-time instant (AtTime > 0), whichever is configured;
+// when both are set the earlier event wins. The zero plan never fires but
+// still counts boundaries, which is how a sweep measures a workload's
+// total program/erase population before choosing cut points.
+type CrashPlan struct {
+	// AfterOps cuts power when the AfterOps-th program/erase boundary is
+	// reached: the op that would have been the AfterOps-th completes as a
+	// torn write (its page carries garbage, its OOB tags never land).
+	AfterOps int64
+	// AtTime cuts power at the first program/erase boundary whose
+	// completion time is at or past this simulated instant.
+	AtTime sim.Time
+}
+
+// armed reports whether the plan can ever fire.
+func (p CrashPlan) armed() bool { return p.AfterOps > 0 || p.AtTime > 0 }
+
+// ArmCrash installs a crash plan. Arming resets the boundary counter and
+// the crashed latch; a nil-equivalent zero plan counts boundaries without
+// ever firing. Call before submitting work.
+func (i *Injector) ArmCrash(plan CrashPlan) {
+	p := plan
+	i.crash = &p
+	i.peOps = 0
+	i.crashed = false
+}
+
+// CrashOnOp is the device's per-program/per-erase hook: it counts the
+// boundary and reports whether power is cut on exactly this op. at is the
+// op's completion instant on the simulated clock. Once it returns true
+// the injector stays Crashed until re-armed; further boundaries are
+// neither counted nor reached (the device stops executing).
+func (i *Injector) CrashOnOp(at sim.Time) bool {
+	if i == nil || i.crash == nil || i.crashed {
+		return false
+	}
+	i.peOps++
+	if !i.crash.armed() {
+		return false
+	}
+	if (i.crash.AfterOps > 0 && i.peOps >= i.crash.AfterOps) ||
+		(i.crash.AtTime > 0 && at >= i.crash.AtTime) {
+		i.crashed = true
+		return true
+	}
+	return false
+}
+
+// Crashed reports whether an armed crash plan has fired.
+func (i *Injector) Crashed() bool { return i != nil && i.crashed }
+
+// PEOps reports the number of program/erase boundaries counted since the
+// plan was armed (including the torn one).
+func (i *Injector) PEOps() int64 {
+	if i == nil {
+		return 0
+	}
+	return i.peOps
+}

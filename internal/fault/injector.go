@@ -80,6 +80,13 @@ type Injector struct {
 	spares   int64
 	readOnly bool
 
+	// Power-loss crash injection (ArmCrash). peOps counts NAND
+	// program/erase boundaries while a plan is armed; crashed latches once
+	// the plan's cut point is reached.
+	crash   *CrashPlan
+	peOps   int64
+	crashed bool
+
 	counts Counts
 	probe  obs.Probe
 }
@@ -125,8 +132,9 @@ func New(cfg Config) (*Injector, error) {
 // counters.
 func (i *Injector) SetProbe(p obs.Probe) { i.probe = obs.OrNop(p) }
 
-// Enabled reports whether the profile can inject anything.
-func (i *Injector) Enabled() bool { return i.prof.Enabled() }
+// Enabled reports whether the injector can do anything: a profile that
+// injects errors, or an armed power-loss crash plan.
+func (i *Injector) Enabled() bool { return i.prof.Enabled() || i.crash != nil }
 
 // Profile returns the effective profile (flag adjustments folded in).
 func (i *Injector) Profile() Profile { return i.prof }

@@ -51,6 +51,14 @@ type FTL struct {
 	nandWrites int64
 	grownBad   int64
 
+	// Durable-metadata model (nil when Config.Durable is off): journal
+	// and checkpoint bookkeeping, the simulated media state, and the
+	// degraded read-only latch mount-time recovery sets when metadata is
+	// unrecoverable.
+	dur      *durState
+	media    *Media
+	readOnly bool
+
 	probe obs.Probe
 	tap   nvm.MappingTap
 }
@@ -77,6 +85,9 @@ type superblock struct {
 type Config struct {
 	// ReserveSuperblocks is the free-pool low-water mark that triggers GC.
 	ReserveSuperblocks int
+	// Durable enables the crash-consistent metadata model: per-page OOB
+	// tags, an L2P delta journal and periodic mapping-table checkpoints.
+	Durable DurableConfig
 }
 
 // New creates an FTL over the given geometry and medium.
@@ -105,6 +116,25 @@ func New(geo nvm.Geometry, cell nvm.CellParams, cfg Config) (*FTL, error) {
 	for i := range f.sb {
 		f.sb[i].free = true
 		heap.Push(&f.freeHeap, wearEntry{id: int64(i), wear: 0})
+	}
+	if cfg.Durable.Enabled {
+		d := cfg.Durable
+		if d.CheckpointEveryPages <= 0 {
+			d.CheckpointEveryPages = 4 * f.spb
+		}
+		if d.JournalEntriesPerPage <= 0 {
+			d.JournalEntriesPerPage = int(cell.PageSize / 16)
+		}
+		if d.JournalEntriesPerPage <= 0 {
+			d.JournalEntriesPerPage = 16
+		}
+		f.dur = &durState{
+			cfg:       d,
+			ver:       make(map[int64]uint64),
+			perPage:   d.JournalEntriesPerPage,
+			ckptEvery: d.CheckpointEveryPages,
+		}
+		f.media = newMedia(f.Pages(), f.spb, f.rowsz, f.ppb)
 	}
 	return f, nil
 }
@@ -151,6 +181,19 @@ func (f *FTL) Preload(bytes int64) error {
 		}
 	}
 	f.preloaded = supers
+	if f.dur != nil {
+		// The identity-mapped dataset is durable content: version 0 pages
+		// at their identity locations, plus a genesis journal record so a
+		// crash before the first checkpoint still recovers the preload
+		// extent. Preload runs before the device exists, so the genesis
+		// page commits directly rather than riding a request.
+		for p := int64(0); p < supers*f.spb; p++ {
+			f.media.data[p] = OOB{LPN: p, Ver: 0}
+		}
+		f.media.commitDirect(metaPage{Kind: metaJournal,
+			Recs: []rec{{Kind: recPreload, A: supers}}})
+		f.dur.journalPages++
+	}
 	return nil
 }
 
@@ -191,22 +234,27 @@ func (f *FTL) Write(offset, size int64) []nvm.PageOp {
 	}
 	first := offset / f.cell.PageSize
 	last := (offset + size - 1) / f.cell.PageSize
-	var ops []nvm.PageOp
+	// A due checkpoint rides ahead of the write that triggered it, so the
+	// journal the snapshot supersedes is already flushed and bounded.
+	ops := f.maybeCheckpoint()
 	for lpn := first; lpn <= last; lpn++ {
 		f.hostWrites++
-		ops = append(ops, f.program(lpn)...)
+		ops = append(ops, f.program(lpn, true)...)
 	}
 	f.probe.Count("ftl.host_writes", last-first+1)
 	return ops
 }
 
 // program appends one logical page to the log, running GC first if the free
-// pool is exhausted.
-func (f *FTL) program(lpn int64) []nvm.PageOp {
+// pool is exhausted. host marks a host write (bumping the page's durable
+// version), as opposed to a GC or retirement relocation (which moves the
+// existing version).
+func (f *FTL) program(lpn int64, host bool) []nvm.PageOp {
 	var ops []nvm.PageOp
 	if f.active < 0 || f.writePtr >= f.spb {
 		if f.active >= 0 {
 			f.sb[f.active].sealed = true
+			ops = append(ops, f.appendRec(rec{Kind: recSeal, A: f.active})...)
 		}
 		ops = append(ops, f.maybeGC()...)
 		// GC relocation re-enters program and may already have opened (and
@@ -215,6 +263,14 @@ func (f *FTL) program(lpn int64) []nvm.PageOp {
 		if f.active < 0 || f.writePtr >= f.spb {
 			f.active = f.allocSuperblock()
 			f.writePtr = 0
+			// Every allocation flushes the journal with its alloc record
+			// aboard: the newest replayable alloc then always designates
+			// the true open superblock, confining unflushed placements to
+			// the one superblock recovery scans by OOB tag.
+			if f.dur != nil {
+				f.dur.buf = append(f.dur.buf, rec{Kind: recAlloc, A: f.active})
+				ops = append(ops, f.flushJournal()...)
+			}
 		}
 	}
 	// Invalidate the previous version.
@@ -238,7 +294,16 @@ func (f *FTL) program(lpn int64) []nvm.PageOp {
 	f.sb[f.active].valid++
 	f.nandWrites++
 	f.probe.Count("ftl.nand_writes", 1)
-	ops = append(ops, nvm.PageOp{Op: nvm.OpProgram, Loc: f.Locate(ppn), PPN: ppn})
+	var ver uint64
+	if f.dur != nil {
+		if host {
+			f.dur.ver[lpn]++
+			f.dur.sinceCkpt++
+		}
+		ver = f.dur.ver[lpn]
+		ops = append(ops, f.appendRec(rec{Kind: recPlace, A: lpn, B: ppn, V: ver})...)
+	}
+	ops = append(ops, nvm.PageOp{Op: nvm.OpProgram, Loc: f.Locate(ppn), PPN: ppn, LPN: lpn, Ver: ver})
 	return ops
 }
 
@@ -321,7 +386,7 @@ func (f *FTL) collect(victim int64) []nvm.PageOp {
 		delete(f.l2p, lpn)
 		// Re-program through the normal path (may not recurse into GC since
 		// the active superblock has room or a free one exists).
-		ops = append(ops, f.program(lpn)...)
+		ops = append(ops, f.program(lpn, false)...)
 	}
 	// Erase every eraseblock of the superblock: one per die-plane.
 	for r := int64(0); r < f.rowsz; r++ {
@@ -331,6 +396,7 @@ func (f *FTL) collect(victim int64) []nvm.PageOp {
 	f.sb[victim].free = true
 	f.sb[victim].sealed = false
 	heap.Push(&f.freeHeap, wearEntry{id: victim, wear: f.sb[victim].wear})
+	ops = append(ops, f.appendRec(rec{Kind: recErase, A: victim, V: uint64(f.sb[victim].wear)})...)
 	f.probe.Count("ftl.gc.relocated_pages", f.relocated-relocatedBefore)
 	f.probe.Count("ftl.gc.erases", f.rowsz)
 	// Everything this collection emitted — relocation reads, the programs
@@ -351,12 +417,17 @@ type Stats struct {
 	NANDWrites     int64
 	FreeSuper      int
 	GrownBadSuper  int64
+	// Durable-metadata traffic (zero when the model is off): journal
+	// delta pages, checkpoint pages, and checkpoint runs.
+	JournalPages int64
+	CkptPages    int64
+	CkptRuns     int64
 }
 
 // Stats snapshots the counters. Write amplification is
 // NANDWrites/HostWrites when HostWrites > 0.
 func (f *FTL) Stats() Stats {
-	return Stats{
+	s := Stats{
 		GCRuns:         f.gcRuns,
 		RelocatedPages: f.relocated,
 		HostWrites:     f.hostWrites,
@@ -364,6 +435,12 @@ func (f *FTL) Stats() Stats {
 		FreeSuper:      f.usableFree(),
 		GrownBadSuper:  f.grownBad,
 	}
+	if f.dur != nil {
+		s.JournalPages = f.dur.journalPages
+		s.CkptPages = f.dur.ckptPages
+		s.CkptRuns = f.dur.ckptRuns
+	}
+	return s
 }
 
 // RegisterSeries registers the FTL's time-resolved telemetry: GC runs and
@@ -374,6 +451,12 @@ func (f *FTL) RegisterSeries(ts *timeseries.Sampler) {
 	ts.AddDelta("ftl.gc_relocated_pages", func(sim.Time) float64 { return float64(f.relocated) })
 	ts.AddGauge("ftl.write_amplification", func(sim.Time) float64 { return f.WriteAmplification() })
 	ts.AddGauge("ftl.free_superblocks", func(sim.Time) float64 { return float64(f.usableFree()) })
+	// Durable-metadata series register only when the model is on, keeping
+	// reports byte-identical for volatile configurations.
+	if f.dur != nil {
+		ts.AddDelta("ftl.journal_pages", func(sim.Time) float64 { return float64(f.dur.journalPages) })
+		ts.AddDelta("ftl.ckpt_pages", func(sim.Time) float64 { return float64(f.dur.ckptPages) })
+	}
 }
 
 // usableFree counts free superblocks still fit for allocation (the heap may
@@ -432,6 +515,12 @@ func (f *FTL) RetireBlock(ppn int64) nvm.Retirement {
 	s.free = false
 	s.sealed = true
 	var ops []nvm.PageOp
+	// The grown-bad verdict flushes immediately: recovery must never
+	// allocate from (or scan garbage in) a superblock that failed.
+	if f.dur != nil {
+		f.dur.buf = append(f.dur.buf, rec{Kind: recRetire, A: v})
+		ops = append(ops, f.flushJournal()...)
+	}
 	base := v * f.spb
 	pre := f.preloaded * f.spb
 	for p := base; p < base+f.spb; p++ {
@@ -452,7 +541,7 @@ func (f *FTL) RetireBlock(ppn int64) nvm.Retirement {
 		}
 		// program() handles the identity-slot invalidation for preloaded
 		// pages and appends the new copy to the log.
-		ops = append(ops, f.program(lpn)...)
+		ops = append(ops, f.program(lpn, false)...)
 	}
 	return nvm.Retirement{Ops: ops, Retired: true, OK: true}
 }

@@ -6,11 +6,15 @@ import "oocnvm/internal/nvm"
 // contract. Under an FTL the host cannot erase physical blocks; the request
 // is honored as a TRIM: affected logical pages are unmapped and their
 // physical copies invalidated, making the space reclaimable by GC. No device
-// operations are issued.
+// operations are issued for the data itself, but in durable mode each
+// actually-invalidated page appends a trim record to the journal (carrying
+// the page's version so recovery cannot resurrect stale copies), and a full
+// record page — or a due checkpoint — flushes as metadata programs.
 func (f *FTL) Erase(offset, size int64) []nvm.PageOp {
 	if size <= 0 {
 		return nil
 	}
+	ops := f.maybeCheckpoint()
 	first := offset / f.cell.PageSize
 	last := (offset + size - 1) / f.cell.PageSize
 	for lpn := first; lpn <= last; lpn++ {
@@ -21,6 +25,7 @@ func (f *FTL) Erase(offset, size int64) []nvm.PageOp {
 			f.sb[f.superOf(ppn)].valid--
 			delete(f.p2l, ppn)
 			delete(f.l2p, lpn)
+			ops = append(ops, f.appendRec(rec{Kind: recTrim, A: lpn, V: f.version(lpn)})...)
 		} else if lpn < f.preloaded*f.spb && !f.dead[lpn] {
 			// An identity slot is invalidated at most once; without the
 			// dead set, re-trimming a page whose identity slot was already
@@ -28,7 +33,8 @@ func (f *FTL) Erase(offset, size int64) []nvm.PageOp {
 			// preloaded superblock's valid count negative.
 			f.sb[f.superOf(lpn)].valid--
 			f.dead[lpn] = true
+			ops = append(ops, f.appendRec(rec{Kind: recTrim, A: lpn, V: f.version(lpn)})...)
 		}
 	}
-	return nil
+	return ops
 }

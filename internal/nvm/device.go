@@ -42,11 +42,17 @@ func (o Op) String() string {
 // error state off it. GC marks garbage-collection traffic (relocation
 // reads/programs and victim erases) so latency attribution can charge an
 // activation of pure GC work to the GC component instead of the host's.
+// Meta marks FTL metadata traffic (journal and checkpoint pages); LPN and
+// Ver are the durable per-page OOB tags a MediaTap commits alongside the
+// payload (LPN < 0 when the page carries no host data).
 type PageOp struct {
-	Op  Op
-	Loc Location
-	PPN int64
-	GC  bool
+	Op   Op
+	Loc  Location
+	PPN  int64
+	GC   bool
+	Meta bool
+	LPN  int64
+	Ver  uint64
 }
 
 // Link abstracts the host-side data path of the SSD (PCIe, possibly behind a
@@ -107,6 +113,13 @@ type Device struct {
 	// device with zero overhead.
 	faults *fault.Injector
 
+	// media, when non-nil, receives every program/erase as a durable
+	// media-state commit (MediaTap). Durable mode also orders victim
+	// erases after every program of the same request (the erase barrier):
+	// a power cut mid-request must never have destroyed relocated data
+	// whose journal pages were still queued behind the erase.
+	media MediaTap
+
 	// att, when non-nil, receives per-request critical-path attribution:
 	// the chain of timestamp differences from dispatch to completion of
 	// every cell activation (the latest-finishing chain is the request's
@@ -142,6 +155,10 @@ type Device struct {
 // SetFaults attaches a fault injector. Call before submitting work; a nil
 // injector restores the failure-free device.
 func (d *Device) SetFaults(inj *fault.Injector) { d.faults = inj }
+
+// SetMediaTap attaches a durable media model. Call before submitting
+// work; nil restores the volatile (and erase-barrier-free) device.
+func (d *Device) SetMediaTap(m MediaTap) { d.media = m }
 
 // EnableCacheMode turns on dual-register cache operation (see the cacheMode
 // field). Call before submitting work.
@@ -306,6 +323,7 @@ func (d *Device) Submit(at sim.Time, ops []PageOp) sim.Time {
 		channels   = make(map[int]bool)
 		diesPerCh  = make(map[int]map[int]bool)
 		multiplane bool
+		eraseActs  []activation
 	)
 	for _, a := range acts {
 		channels[a.loc.Channel] = true
@@ -316,22 +334,22 @@ func (d *Device) Submit(at sim.Time, ops []PageOp) sim.Time {
 		if len(a.ops) > 1 {
 			multiplane = true
 		}
-		if attributing {
-			gc := true
-			for _, op := range a.ops {
-				if !op.GC {
-					gc = false
-					break
-				}
-			}
-			d.attActGC = gc
-			d.att.StartActivation(gc)
+		// Durable mode holds erases back behind every program of the
+		// request: plane interleaving would otherwise let a victim erase
+		// execute before the relocation programs and journal pages that
+		// make destroying the victim safe, so a crash between the two
+		// could lose acknowledged data.
+		if d.media != nil && a.ops[0].Op == OpErase {
+			eraseActs = append(eraseActs, a)
+			continue
 		}
-		done := d.execActivation(issue, a)
-		if attributing {
-			d.att.EndActivation(done)
+		end = sim.MaxTime(end, d.runActivation(issue, 0, a, attributing))
+	}
+	if len(eraseActs) > 0 {
+		barrier := sim.MaxTime(end, issue)
+		for _, a := range eraseActs {
+			end = sim.MaxTime(end, d.runActivation(barrier, barrier-issue, a, attributing))
 		}
-		end = sim.MaxTime(end, done)
 	}
 
 	interleave := false
@@ -361,6 +379,45 @@ func (d *Device) Submit(at sim.Time, ops []PageOp) sim.Time {
 
 	d.lastEnd = sim.MaxTime(d.lastEnd, end)
 	return end
+}
+
+// runActivation executes one activation at issueAt with its attribution
+// chain. pre is the already-elapsed time from the request's issue instant
+// (the durable-mode erase barrier); it is charged to the Meta component so
+// the chain still telescopes from issue to completion. After a power cut
+// the remaining activations are void: the device returns issueAt without
+// touching any timeline, so a crashed request's completion never regresses
+// below work that actually executed.
+func (d *Device) runActivation(issueAt, pre sim.Time, a activation, attributing bool) sim.Time {
+	if d.faults.Crashed() {
+		return issueAt
+	}
+	if attributing {
+		gc, meta := true, true
+		for _, op := range a.ops {
+			if !op.GC {
+				gc = false
+			}
+			if !op.Meta {
+				meta = false
+			}
+		}
+		d.attActGC = gc
+		fold := attrib.Component(-1)
+		switch {
+		case meta:
+			fold = attrib.Meta
+		case gc:
+			fold = attrib.GC
+		}
+		d.att.StartActivationFold(fold)
+		d.att.Seg(attrib.Meta, pre)
+	}
+	done := d.execActivation(issueAt, a)
+	if attributing {
+		d.att.EndActivation(done)
+	}
+	return done
 }
 
 // groupByDie buckets ops per (channel, die) in deterministic layout order.
@@ -700,9 +757,26 @@ func (d *Device) execActivation(issue sim.Time, a activation) sim.Time {
 		if probing {
 			d.probe.Span(obs.LayerNVM, dieTrack, "program", ps, pe)
 		}
-		if d.faults != nil {
+		if d.faults != nil || d.media != nil {
 			for _, op := range a.ops {
-				d.faults.OnProgram(op.PPN)
+				if d.faults.Crashed() {
+					break
+				}
+				if d.faults != nil && d.faults.CrashOnOp(pe) {
+					// Power cut mid-program: the in-flight page is torn
+					// (payload garbage, OOB tags unlanded); later planes
+					// of the activation never started.
+					if d.media != nil {
+						d.media.MediaProgram(op, true)
+					}
+					break
+				}
+				if d.media != nil {
+					d.media.MediaProgram(op, false)
+				}
+				if d.faults != nil {
+					d.faults.OnProgram(op.PPN)
+				}
 			}
 		}
 		return pe
@@ -724,9 +798,24 @@ func (d *Device) execActivation(issue sim.Time, a activation) sim.Time {
 			d.probe.Span(obs.LayerNVM, dieTrack, "erase", es, ee)
 		}
 		for _, op := range a.ops {
+			if d.faults.Crashed() {
+				break
+			}
+			if d.faults != nil && d.faults.CrashOnOp(ee) {
+				// Power cut mid-erase: the pulse already destroyed the
+				// block's contents, so the media still clears it, but the
+				// wear bump and fault report never happen.
+				if d.media != nil {
+					d.media.MediaErase(op, true)
+				}
+				break
+			}
 			d.cErases.Inc()
 			key := Location{Channel: op.Loc.Channel, Die: op.Loc.Die, Plane: op.Loc.Plane}
 			d.eraseCount[key]++
+			if d.media != nil {
+				d.media.MediaErase(op, false)
+			}
 			if d.faults != nil {
 				d.faults.OnErase(op.PPN)
 			}

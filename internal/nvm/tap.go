@@ -20,6 +20,23 @@ type MappingTap interface {
 	MapTrim(lpn int64)
 }
 
+// MediaTap observes physical media state at NAND program/erase
+// granularity: every program commits the page's payload and OOB (LPN,
+// version) tags, every erase clears an eraseblock. The durable-metadata
+// FTL attaches its media model here so that a power cut — which stops the
+// device mid-request — leaves exactly the committed pages behind, with
+// the in-flight op torn (payload garbage, OOB tags never landed). A nil
+// tap is the (free) volatile default.
+type MediaTap interface {
+	// MediaProgram reports that op's page programmed; torn marks the
+	// power-cut op whose payload and OOB tags must not be trusted.
+	MediaProgram(op PageOp, torn bool)
+	// MediaErase reports that op's eraseblock erased; torn marks a
+	// power-cut erase (the block's prior contents are already gone —
+	// erase pulses destroy data before completing).
+	MediaErase(op PageOp, torn bool)
+}
+
 // InstrumentMapping attaches a tap to any component exposing
 // SetMappingTap(MappingTap), reporting whether it did. Mirrors
 // obs.Instrument: translators advertise the hook without this package

@@ -69,8 +69,14 @@ const (
 	// portion of a host chain's entry die-wait spent behind this request's
 	// own foreground collection on the same die.
 	GC
-	// Recovery is grown-bad-block recovery: relocation traffic serviced
-	// inline after the request's own media work.
+	// Meta is durable-metadata overhead: the whole critical-path chain of
+	// an activation carrying only FTL journal/checkpoint pages, plus the
+	// erase-barrier delay durable mode imposes so victim erases never
+	// reorder ahead of the metadata that made them safe.
+	Meta
+	// Recovery is exceptional repair work: grown-bad-block relocation
+	// traffic serviced inline after the request's own media work, and
+	// mount-time crash recovery (journal replay + open-superblock scan).
 	Recovery
 
 	// NumComponents is the taxonomy size; component arrays index by it.
@@ -80,7 +86,7 @@ const (
 var componentNames = [NumComponents]string{
 	"queue", "host-overhead", "link-wait", "link-xfer",
 	"bus-wait", "bus-xfer", "die-wait", "die-service",
-	"read-retry", "gc", "recovery",
+	"read-retry", "gc", "meta-journal", "recovery",
 }
 
 // String names the component ("queue", "die-service", ...).
@@ -101,8 +107,9 @@ func (c Component) csvName() string {
 }
 
 // kindNames maps trace.Kind values (uint8: read=0, write=1, erase=2)
-// without importing the trace package.
-var kindNames = [...]string{"read", "write", "erase"}
+// without importing the trace package; kind 3 is the synthetic mount
+// record the drive commits for crash recovery (no block op carries it).
+var kindNames = [...]string{"read", "write", "erase", "mount"}
 
 // KindName names a block-operation kind byte.
 func KindName(k uint8) string {
@@ -168,11 +175,14 @@ type Recorder struct {
 
 	// Critical-path scratch: the per-activation chain being recorded, and
 	// the best (latest-finishing) chain seen for the current request.
+	// actFold/bestFold name the component a winning chain collapses into
+	// wholesale (GC for relocation-only activations, Meta for
+	// journal-only ones), or noFold for an ordinary per-component chain.
 	inAct     bool
-	actGC     bool
+	actFold   Component
 	scratch   [NumComponents]sim.Time
 	bestSet   bool
-	bestGC    bool
+	bestFold  Component
 	bestEnd   sim.Time
 	bestChain [NumComponents]sim.Time
 
@@ -187,7 +197,9 @@ type Recorder struct {
 
 	// Optional registry-backed histograms (BindRegistry).
 	hComp [NumComponents]*obs.Histogram
-	hE2E  *obs.Histogram
+	// reg backs the lazy Meta histogram (see BindRegistry).
+	reg  *obs.Registry
+	hE2E *obs.Histogram
 
 	// Bounded min-heap of the slowest requests, keyed by latency.
 	topK []Record
@@ -214,8 +226,15 @@ func (rec *Recorder) BindRegistry(r *obs.Registry) {
 		return
 	}
 	for c := Component(0); c < NumComponents; c++ {
+		if c == Meta {
+			// Registered lazily on the first observation: a run that
+			// never books durable-metadata time keeps its exported
+			// artifacts byte-identical to builds predating the component.
+			continue
+		}
 		rec.hComp[c] = r.Histogram(c.MetricName())
 	}
+	rec.reg = r
 	rec.hE2E = r.Histogram("attrib.e2e")
 }
 
@@ -231,7 +250,7 @@ func (rec *Recorder) Begin(kind uint8, offset, size int64, arrive sim.Time) {
 	rec.paused = 0
 	rec.inAct = false
 	rec.bestSet = false
-	rec.bestGC = false
+	rec.bestFold = noFold
 	rec.bestEnd = 0
 }
 
@@ -287,15 +306,30 @@ func (rec *Recorder) Resume() {
 	rec.paused--
 }
 
+// noFold marks an ordinary activation chain that commits per-component.
+const noFold Component = -1
+
 // StartActivation opens one cell activation's chain. gc marks a chain
 // carrying only garbage-collection traffic; if it wins the critical path
 // its whole chain is folded into the GC component.
 func (rec *Recorder) StartActivation(gc bool) {
+	fold := noFold
+	if gc {
+		fold = GC
+	}
+	rec.StartActivationFold(fold)
+}
+
+// StartActivationFold opens one cell activation's chain that, should it
+// win the critical path, collapses wholesale into the given component
+// (GC for relocation-only, Meta for journal-only activations). Pass a
+// negative component for an ordinary per-component chain.
+func (rec *Recorder) StartActivationFold(fold Component) {
 	if !rec.DeviceActive() {
 		return
 	}
 	rec.inAct = true
-	rec.actGC = gc
+	rec.actFold = fold
 	rec.scratch = [NumComponents]sim.Time{}
 }
 
@@ -318,7 +352,7 @@ func (rec *Recorder) EndActivation(done sim.Time) {
 	if !rec.bestSet || done > rec.bestEnd {
 		rec.bestSet = true
 		rec.bestEnd = done
-		rec.bestGC = rec.actGC
+		rec.bestFold = rec.actFold
 		rec.bestChain = rec.scratch
 	}
 }
@@ -339,12 +373,12 @@ func (rec *Recorder) Commit(end sim.Time) {
 	r := &rec.cur
 	r.End = end
 	if rec.bestSet {
-		if rec.bestGC {
+		if rec.bestFold >= 0 {
 			var t sim.Time
 			for _, d := range rec.bestChain {
 				t += d
 			}
-			r.Comp[GC] += t
+			r.Comp[rec.bestFold] += t
 		} else {
 			for c, d := range rec.bestChain {
 				r.Comp[c] += d
@@ -370,8 +404,13 @@ func (rec *Recorder) Commit(end sim.Time) {
 		if d > domV {
 			domC, domV = Component(c), d
 		}
-		if d > 0 && rec.hComp[c] != nil {
-			rec.hComp[c].Observe(d)
+		if d > 0 {
+			if rec.hComp[c] == nil && rec.reg != nil && Component(c) == Meta {
+				rec.hComp[c] = rec.reg.Histogram(Component(c).MetricName())
+			}
+			if rec.hComp[c] != nil {
+				rec.hComp[c].Observe(d)
+			}
 		}
 	}
 	if domV > 0 {

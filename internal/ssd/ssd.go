@@ -287,6 +287,7 @@ type SSD struct {
 	sampler      *timeseries.Sampler
 	faults       *fault.Injector
 	att          *attrib.Recorder
+	mountRO      error
 	err          error
 }
 
@@ -331,6 +332,14 @@ func New(cfg Config) (*SSD, error) {
 	if cfg.Fault != nil && cfg.Fault.Enabled() {
 		s.faults = cfg.Fault
 		dev.SetFaults(cfg.Fault)
+	}
+	// A durable-metadata translator exposes a media tap; wiring it makes the
+	// device mirror every program/erase into the translator's media model so
+	// crash recovery has OOB tags to scan.
+	if mt, ok := cfg.Translator.(interface{ MediaTap() nvm.MediaTap }); ok {
+		if tap := mt.MediaTap(); tap != nil {
+			dev.SetMediaTap(tap)
+		}
 	}
 	if cfg.Attrib != nil {
 		s.att = cfg.Attrib
@@ -457,10 +466,26 @@ func (s *SSD) Submit(op trace.BlockOp) (sim.Time, error) {
 		s.att.Abort()
 		return s.clock, err
 	}
+	if s.faults.Crashed() {
+		// Power is gone: nothing — not even reads — completes until the
+		// stack is rebuilt around a recovered translator.
+		err := fmt.Errorf("ssd: %s offset=%d size=%d: %w", op.Kind, op.Offset, op.Size, fault.ErrPowerLoss)
+		s.keep(err)
+		s.probe.Count("ssd.rejected_ops", 1)
+		s.att.Abort()
+		return s.clock, err
+	}
 	if s.faults != nil && s.faults.ReadOnly() && op.Kind != trace.Read {
 		s.faults.RejectOp()
 		err := fmt.Errorf("ssd: %s offset=%d size=%d: %w", op.Kind, op.Offset, op.Size, fault.ErrReadOnly)
 		s.keep(err)
+		s.att.Abort()
+		return s.clock, err
+	}
+	if s.mountRO != nil && op.Kind != trace.Read {
+		err := fmt.Errorf("ssd: %s offset=%d size=%d: %w", op.Kind, op.Offset, op.Size, s.mountRO)
+		s.keep(err)
+		s.probe.Count("ssd.rejected_ops", 1)
 		s.att.Abort()
 		return s.clock, err
 	}
@@ -493,7 +518,13 @@ func (s *SSD) Submit(op trace.BlockOp) (sim.Time, error) {
 	}
 	end := s.Dev.Submit(issue, pageOps)
 	var err error
-	if s.faults != nil {
+	if s.faults.Crashed() {
+		// The cut fired inside this request: its in-flight program is torn
+		// on the media and the request was never acknowledged.
+		err = fmt.Errorf("ssd: %s offset=%d size=%d: %w", op.Kind, op.Offset, op.Size, fault.ErrPowerLoss)
+		s.keep(err)
+		s.probe.Count("ssd.crashed_ops", 1)
+	} else if s.faults != nil {
 		// Recovery relocation replays through the device; pausing the
 		// recorder keeps those activations from overwriting the request's
 		// own critical path — the whole delta is charged to Recovery.
@@ -515,7 +546,7 @@ func (s *SSD) Submit(op trace.BlockOp) (sim.Time, error) {
 	} else {
 		s.clock = issue + s.hostOverhead
 	}
-	if !op.Meta {
+	if !op.Meta && !s.faults.Crashed() {
 		s.dataBytes += op.Size
 	}
 	s.opsCount++
@@ -540,6 +571,33 @@ func (s *SSD) keep(err error) {
 	if s.err == nil {
 		s.err = err
 	}
+}
+
+// MountInfo describes a completed mount-time crash recovery so the drive
+// can book its cost and, when the metadata was unrecoverable, pin the
+// stack read-only.
+type MountInfo struct {
+	// Duration is the simulated recovery time (ftl.RecoveryReport.Duration).
+	Duration sim.Time
+	// ReadOnly, when non-nil, is the typed unrecoverable-metadata error;
+	// every post-mount write or erase is rejected wrapping it.
+	ReadOnly error
+}
+
+// Mount books a mount-time recovery against the drive's clock and
+// telemetry: the whole duration lands on the Recovery attribution
+// component under the synthetic "mount" request kind, and counters record
+// the recovery and its cost for the HTML report.
+func (s *SSD) Mount(info MountInfo) {
+	arrive := s.clock
+	s.att.Begin(3, 0, 0, arrive)
+	s.att.Note(attrib.Recovery, info.Duration)
+	end := arrive + info.Duration
+	s.att.Commit(end)
+	s.clock = end
+	s.mountRO = info.ReadOnly
+	s.probe.Count("ssd.mount.recoveries", 1)
+	s.probe.Observe("ssd.mount.recovery_time", info.Duration)
 }
 
 // recover drains the injector's pending program/erase failures, asking the
