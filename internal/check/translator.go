@@ -4,6 +4,7 @@ import (
 	"oocnvm/internal/nvm"
 	"oocnvm/internal/obs"
 	"oocnvm/internal/obs/timeseries"
+	"oocnvm/internal/pool"
 	"oocnvm/internal/ssd"
 )
 
@@ -121,6 +122,25 @@ func (c *Checked) MediaTap() nvm.MediaTap {
 		return mt.MediaTap()
 	}
 	return nil
+}
+
+// SetOpPool forwards the drive's page-op free list to the inner translator
+// when it pools; the wrapper itself never retains translation slices, so a
+// checked stack recycles exactly like an unchecked one.
+func (c *Checked) SetOpPool(p *pool.Buffers[nvm.PageOp]) {
+	if op, ok := c.inner.(interface {
+		SetOpPool(*pool.Buffers[nvm.PageOp])
+	}); ok {
+		op.SetOpPool(p)
+	}
+}
+
+// ReleaseOps forwards the drive's end-of-request release to the inner
+// translator.
+func (c *Checked) ReleaseOps(ops []nvm.PageOp) {
+	if op, ok := c.inner.(interface{ ReleaseOps([]nvm.PageOp) }); ok {
+		op.ReleaseOps(ops)
+	}
 }
 
 // SetProbe forwards observability wiring to the inner translator, so a

@@ -1,0 +1,126 @@
+package experiment
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"oocnvm/internal/ftl"
+	"oocnvm/internal/interconnect"
+	"oocnvm/internal/nvm"
+	"oocnvm/internal/pool"
+	"oocnvm/internal/ssd"
+	blocktrace "oocnvm/internal/trace"
+)
+
+// TestResultDetachedFromPools is the aliasing audit for the pooled request
+// lifecycle: a Result returned to the caller must not share backing storage
+// with any free-listed object, because the drive recycles those slices on
+// the very next request. The test captures a result, then keeps hammering
+// the same drive with a different workload so every pooled translation
+// slice and scheduler scratch arena is reused and overwritten, and finally
+// re-checks the captured result bit for bit.
+func TestResultDetachedFromPools(t *testing.T) {
+	geo := nvm.PaperGeometry()
+	cp := nvm.Params(nvm.TLC)
+	f, err := ftl.New(geo, cp, ftl.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ssd.New(ssd.Config{
+		Geometry: geo, Cell: cp, Bus: nvm.ONFi3SDR(),
+		Link: interconnect.Infinite{}, Translator: f, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opsA := mixedOps(0)
+	r := s.Replay(opsA)
+	before := fmt.Sprintf("%#v", r)
+
+	// Poison pass: different offsets, sizes and verbs recycle every pooled
+	// slice the first replay borrowed. If r aliased pooled storage, its
+	// formatted image changes here.
+	for pass := int64(1); pass <= 4; pass++ {
+		s.Replay(mixedOps(pass * (64 << 20)))
+	}
+	if after := fmt.Sprintf("%#v", r); after != before {
+		t.Fatalf("captured Result changed after pool recycling:\nbefore: %s\nafter:  %s", before, after)
+	}
+	if gets, reuses := s.OpPoolStats(); reuses == 0 {
+		t.Fatalf("poison pass never recycled the op pool (%d gets, %d reuses) — audit did not exercise reuse", gets, reuses)
+	}
+}
+
+// mixedOps builds a read/write/trim workload starting at base, sized to
+// recycle the drive's pooled translation slices across several requests.
+func mixedOps(base int64) []blocktrace.BlockOp {
+	var ops []blocktrace.BlockOp
+	for i := int64(0); i < 12; i++ {
+		ops = append(ops, blocktrace.BlockOp{Kind: blocktrace.Read, Offset: base + i*(512<<10), Size: 512 << 10})
+		if i%3 == 0 {
+			ops = append(ops, blocktrace.BlockOp{Kind: blocktrace.Write, Offset: base + i*(128<<10), Size: 128 << 10})
+		}
+	}
+	ops = append(ops, blocktrace.BlockOp{Kind: blocktrace.Erase, Offset: base, Size: 256 << 10})
+	return ops
+}
+
+// TestResultTypesCarryNoReferences is the structural half of the aliasing
+// audit: ssd.Result and experiment.Measurement must stay pure value types
+// (no slices, maps or pointers), so copying a result detaches it from the
+// drive — and from every pooled object — by construction. A reference field
+// added to either type must either be deep-copied at the return boundary or
+// consciously exempted here.
+func TestResultTypesCarryNoReferences(t *testing.T) {
+	for _, typ := range []reflect.Type{
+		reflect.TypeOf(ssd.Result{}),
+		reflect.TypeOf(Measurement{}),
+	} {
+		checkValueType(t, typ, typ.String())
+	}
+}
+
+func checkValueType(t *testing.T, typ reflect.Type, path string) {
+	t.Helper()
+	switch typ.Kind() {
+	case reflect.Slice, reflect.Map, reflect.Ptr, reflect.Chan,
+		reflect.Func, reflect.Interface, reflect.UnsafePointer:
+		t.Errorf("%s is a %s — result types must not carry references into pooled storage", path, typ.Kind())
+	case reflect.Struct:
+		for i := 0; i < typ.NumField(); i++ {
+			f := typ.Field(i)
+			checkValueType(t, f.Type, path+"."+f.Name)
+		}
+	case reflect.Array:
+		checkValueType(t, typ.Elem(), path+"[]")
+	}
+}
+
+// TestMatrixConcurrentPooling drives the full matrix with maximum worker
+// parallelism and per-drive pools. Under `go test -race` the pool package
+// arms its generation checks (pool.Debugging() reports true), so any
+// cross-worker slice reuse or use-after-release surfaces as a panic or a
+// race report right here.
+func TestMatrixConcurrentPooling(t *testing.T) {
+	opt := TestOptions()
+	opt.MeasureRemaining = false
+	opt.Workers = runtime.NumCPU()
+	configs := FileSystemConfigs()[:3]
+	cells := []nvm.CellType{nvm.TLC, nvm.MLC}
+	ms, err := Matrix(configs, cells, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != len(configs)*len(cells) {
+		t.Fatalf("matrix returned %d cells, want %d", len(ms), len(configs)*len(cells))
+	}
+	for i, m := range ms {
+		if m.AchievedMBps() <= 0 {
+			t.Errorf("cell %d (%s/%s): degenerate bandwidth", i, m.Config.Name, m.Cell)
+		}
+	}
+	t.Logf("pool generation checks armed: %v", pool.Debugging())
+}

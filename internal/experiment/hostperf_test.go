@@ -27,26 +27,36 @@ func runAttributed(t *testing.T) *hostperf.Summary {
 	return host.Summary()
 }
 
-// TestHostPerfAttributionCoverage is the acceptance check behind the 5%
-// criterion: the instrumented sites plus the experiment-harness region must
-// explain at least 95% of everything a full evaluation cell allocates, and
-// the per-site counts must sum exactly to the run total (the unattributed
-// remainder closes the books).
+// TestHostPerfAttributionCoverage checks the books balance: the per-site
+// counts plus the unattributed remainder must sum exactly to the run total,
+// and the unattributed remainder must stay within an absolute floor. (The
+// old >=95%-of-total fraction criterion stopped being meaningful once the
+// free-listed lifecycle removed ~95% of the run's allocations: the
+// remainder is now runtime/testing background noise against a tiny total,
+// so the guard pins it absolutely instead.)
 func TestHostPerfAttributionCoverage(t *testing.T) {
 	s := runAttributed(t)
 	if s.Total.AllocObjs == 0 {
 		t.Fatal("run allocated nothing — collector broken")
 	}
-	if f := s.AttributedFraction(); f < 0.95 {
-		t.Errorf("instrumented sites explain only %.1f%% of %d allocations, want >= 95%%\n%s",
-			f*100, s.Total.AllocObjs, s.FormatTable())
-	}
-	var sum int64
+	var sum, unattributed int64
 	for _, sc := range s.Sites {
 		sum += sc.Objs
+		if sc.Name == "unattributed" {
+			unattributed = sc.Objs
+		}
 	}
 	if uint64(sum) != s.Total.AllocObjs {
 		t.Errorf("site sum %d != total %d (attribution must be exact)", sum, s.Total.AllocObjs)
+	}
+	// Measured ~0.7k unattributed objects per cell (runtime internals plus
+	// test-harness work outside the instrumented brackets); the ceiling has
+	// ~3x headroom. If this fails, a new allocation site appeared outside
+	// the hostperf brackets — instrument it or pool it.
+	const unattributedBudget = 2500
+	if unattributed > unattributedBudget {
+		t.Errorf("unattributed allocations %d exceed budget %d — a hot site is missing its hostperf bracket\n%s",
+			unattributed, unattributedBudget, s.FormatTable())
 	}
 	// The run records exactly one phase, named after its matrix cell.
 	if len(s.Phases) != 1 || s.Phases[0].Name != "cell CNL-EXT4/TLC" {
@@ -57,27 +67,55 @@ func TestHostPerfAttributionCoverage(t *testing.T) {
 	}
 }
 
-// TestAllocsPerRunGuard pins today's allocation budget of one TestOptions
-// evaluation cell. The ceiling has ~40% headroom over the measured number;
-// if this fails, a change added per-request allocations to the replay hot
-// path — either remove them or consciously raise the budget here and in the
-// PR description.
-func TestAllocsPerRunGuard(t *testing.T) {
+// siteBudgets is the per-site allocation budget table for one TestOptions
+// evaluation cell with the pooled lifecycle engine. Each ceiling carries
+// roughly 2x headroom over the measured steady number; the zeros-by-design
+// sites (their storage is recycled) get small slack for cold-path rarities.
+// A failure names the offending subsystem so the regression is immediately
+// localized — don't raise a ceiling without explaining in the PR where the
+// new allocations come from.
+var siteBudgets = []struct {
+	site   hostperf.Site
+	budget int64
+}{
+	{hostperf.SiteNVMSched, 1500},  // scratch warm-up: die buckets, plane queues, group arena
+	{hostperf.SiteSSDRequest, 128}, // translation slices come from the free list after warm-up
+	{hostperf.SiteObsSpan, 128},    // span storage is recycled via Tracer.Reset
+	{hostperf.SiteAttrib, 128},     // recorder segments are recycled via Recorder.Reset
+	{hostperf.SiteSimWindow, 64},   // heap preallocated to queue depth in NewWindow
+}
+
+// TestPerSiteAllocBudget pins the allocation budget of every instrumented
+// subsystem over a full evaluation cell, plus the cell's overall ceiling.
+// This is the table the zero-alloc engine is graded against: before the
+// free-listed lifecycle the same cell allocated ~101k objects with nvm-sched
+// alone charging ~93k; the pooled engine holds the whole run under a few
+// thousand.
+func TestPerSiteAllocBudget(t *testing.T) {
 	if testing.Short() {
-		t.Skip("allocation guard runs a full evaluation cell")
+		t.Skip("allocation budget table runs a full evaluation cell")
 	}
 	s := runAttributed(t)
-	const budget = 150_000 // measured ~101k objects for the 96 MiB TestOptions cell
-	if s.Total.AllocObjs > budget {
+	const totalBudget = 20_000 // measured ~5.3k objects for the 96 MiB TestOptions cell
+	if s.Total.AllocObjs > totalBudget {
 		t.Errorf("evaluation cell allocated %d objects, budget %d\n%s",
-			s.Total.AllocObjs, budget, s.FormatTable())
+			s.Total.AllocObjs, totalBudget, s.FormatTable())
 	}
-	// The scheduler's plane-merge/die-bucket churn must stay the dominant
-	// attributed site (ROADMAP item 1 targets exactly this); if dominance
-	// moves, the attribution map is stale.
-	if s.Sites[0].Name != "nvm-sched" {
-		t.Errorf("dominant site %q (%.1f%%), want nvm-sched\n%s",
-			s.Sites[0].Name, s.Sites[0].Share*100, s.FormatTable())
+	byName := map[string]int64{}
+	for _, sc := range s.Sites {
+		byName[sc.Name] = sc.Objs
+	}
+	for _, row := range siteBudgets {
+		name := row.site.String()
+		got, ok := byName[name]
+		if !ok {
+			t.Errorf("site %q missing from summary", name)
+			continue
+		}
+		if got > row.budget {
+			t.Errorf("site %s allocated %d objects, budget %d — this subsystem regressed\n%s",
+				name, got, row.budget, s.FormatTable())
+		}
 	}
 }
 

@@ -67,6 +67,17 @@ type Options struct {
 	// workers while attribution is active, because the attribution region
 	// stack is process-global serial state.
 	Host *hostperf.Collector
+	// Workers caps Matrix's worker-pool size; zero or negative selects
+	// runtime.NumCPU. Results are independent of the setting (every cell is
+	// deterministic and isolated) — the knob exists so identity tests can
+	// prove exactly that at several concurrency levels.
+	Workers int
+
+	// posix caches the workload's application-level trace across Matrix
+	// cells. The trace depends only on the workload and is consumed
+	// read-only by every file-system transform, so the matrix generates it
+	// once instead of once per cell.
+	posix []trace.PosixOp
 }
 
 // DefaultOptions returns the evaluation defaults: the standard OoC workload
@@ -154,9 +165,13 @@ func BlockTrace(cfg Config, cell nvm.CellType, opt Options) ([]trace.BlockOp, in
 // blockTrace produces the device-level trace a configuration's software
 // stack emits for the workload, along with the stack's in-flight window.
 func blockTrace(cfg Config, cell nvm.CellType, opt Options) ([]trace.BlockOp, int64, error) {
-	posix, err := opt.Workload.PosixTrace()
-	if err != nil {
-		return nil, 0, err
+	posix := opt.posix
+	if posix == nil {
+		var err error
+		posix, err = opt.Workload.PosixTrace()
+		if err != nil {
+			return nil, 0, err
+		}
 	}
 	cp := nvm.Params(cell)
 	capacity := opt.Geometry.Capacity(cp)
@@ -242,12 +257,22 @@ func Matrix(configs []Config, cells []nvm.CellType, opt Options) ([]Measurement,
 	// timeline. Matrix measurements are aggregate-only.
 	opt.Sampler = nil
 	opt.Attrib = nil
+	if opt.posix == nil {
+		posix, err := opt.Workload.PosixTrace()
+		if err != nil {
+			return nil, err
+		}
+		opt.posix = posix
+	}
 	type job struct{ ci, ni int }
 	out := make([]Measurement, len(configs)*len(cells))
 	errs := make([]error, len(out))
 	jobs := make(chan job)
 	var wg sync.WaitGroup
-	workers := runtime.NumCPU()
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
 	if workers > len(out) {
 		workers = len(out)
 	}

@@ -288,29 +288,29 @@ func (f *FTL) metaOp(pg metaPage) nvm.PageOp {
 	return nvm.PageOp{Op: nvm.OpProgram, Loc: f.Locate(ppn % f.Pages()), PPN: ppn, Meta: true, LPN: -1}
 }
 
-// appendRec buffers one journal record, flushing a full page when the
-// buffer reaches capacity. Returns the metadata programs to emit (nil
-// when nothing flushed or durable mode is off).
-func (f *FTL) appendRec(r rec) []nvm.PageOp {
+// appendRec buffers one journal record, flushing a full page's worth of
+// metadata programs onto ops when the buffer reaches capacity (a no-op
+// append when durable mode is off).
+func (f *FTL) appendRec(ops []nvm.PageOp, r rec) []nvm.PageOp {
 	if f.dur == nil {
-		return nil
+		return ops
 	}
 	f.dur.buf = append(f.dur.buf, r)
 	if len(f.dur.buf) >= f.dur.perPage {
-		return f.flushJournal()
+		return f.flushJournal(ops)
 	}
-	return nil
+	return ops
 }
 
 // flushJournal writes every buffered journal record out as metadata
-// pages. Allocation and retirement force a flush so the journal's newest
-// replayable records always designate the true open superblock and every
-// grown-bad verdict is durable before relocation begins.
-func (f *FTL) flushJournal() []nvm.PageOp {
+// pages, appended to ops. Allocation and retirement force a flush so the
+// journal's newest replayable records always designate the true open
+// superblock and every grown-bad verdict is durable before relocation
+// begins.
+func (f *FTL) flushJournal(ops []nvm.PageOp) []nvm.PageOp {
 	if f.dur == nil || len(f.dur.buf) == 0 {
-		return nil
+		return ops
 	}
-	var ops []nvm.PageOp
 	buf := f.dur.buf
 	for len(buf) > 0 {
 		n := f.dur.perPage
@@ -326,13 +326,13 @@ func (f *FTL) flushJournal() []nvm.PageOp {
 	return ops
 }
 
-// maybeCheckpoint emits a full-state checkpoint once enough host page
-// writes have accumulated since the last one.
-func (f *FTL) maybeCheckpoint() []nvm.PageOp {
+// maybeCheckpoint emits a full-state checkpoint onto ops once enough host
+// page writes have accumulated since the last one.
+func (f *FTL) maybeCheckpoint(ops []nvm.PageOp) []nvm.PageOp {
 	if f.dur == nil || f.dur.sinceCkpt < f.dur.ckptEvery {
-		return nil
+		return ops
 	}
-	return f.checkpoint()
+	return f.checkpoint(ops)
 }
 
 // checkpoint snapshots the entire mapping state — preload extent, open
@@ -343,8 +343,8 @@ func (f *FTL) maybeCheckpoint() []nvm.PageOp {
 // marker is used, so a power cut mid-checkpoint falls back to the
 // previous one plus the journal (which was flushed first, making the
 // snapshot equal to a full replay).
-func (f *FTL) checkpoint() []nvm.PageOp {
-	ops := f.flushJournal()
+func (f *FTL) checkpoint(ops []nvm.PageOp) []nvm.PageOp {
+	ops = f.flushJournal(ops)
 	recs := make([]rec, 0, 2+len(f.l2p)+len(f.dead))
 	recs = append(recs, rec{Kind: recPreload, A: f.preloaded})
 	recs = append(recs, rec{Kind: recActive, A: f.active, B: f.writePtr})

@@ -16,6 +16,7 @@ import (
 	"oocnvm/internal/nvm"
 	"oocnvm/internal/obs"
 	"oocnvm/internal/obs/timeseries"
+	"oocnvm/internal/pool"
 	"oocnvm/internal/sim"
 )
 
@@ -61,6 +62,40 @@ type FTL struct {
 
 	probe obs.Probe
 	tap   nvm.MappingTap
+
+	// opPool, when the drive attaches one, recycles the page-op slices the
+	// host-facing translations (Read/Write/Erase) return. opRef is the live
+	// borrow: the drive is a single goroutine with one outstanding
+	// translation at a time, borrowed here and released by ReleaseOps once
+	// the request's scheduling is complete. Cold paths (RetireBlock) keep
+	// allocating their own slices.
+	opPool *pool.Buffers[nvm.PageOp]
+	opRef  pool.Ref[nvm.PageOp]
+}
+
+// SetOpPool attaches the drive's per-instance page-op free list. Nil leaves
+// translations allocating fresh slices (the behavior outside a drive).
+func (f *FTL) SetOpPool(p *pool.Buffers[nvm.PageOp]) { f.opPool = p }
+
+// takeOps returns the slice a host-facing translation builds into: a pooled
+// borrow when the drive attached a free list, a fresh allocation otherwise.
+func (f *FTL) takeOps(hint int) []nvm.PageOp {
+	if f.opPool == nil {
+		return make([]nvm.PageOp, 0, hint)
+	}
+	f.opRef = f.opPool.Get(hint)
+	return f.opRef.Slice()
+}
+
+// ReleaseOps returns a translation's page-op slice to the drive's pool; the
+// slice (and any aliases) must not be touched afterwards. Slices that were
+// never borrowed — nil translations, cold-path allocations — are ignored.
+func (f *FTL) ReleaseOps(ops []nvm.PageOp) {
+	if f.opPool == nil || !f.opRef.Valid() {
+		return
+	}
+	f.opPool.Put(f.opRef, ops)
+	f.opRef = pool.Ref[nvm.PageOp]{}
 }
 
 // SetProbe attaches an observability probe: map-lookup and GC counters, and
@@ -214,7 +249,7 @@ func (f *FTL) Read(offset, size int64) []nvm.PageOp {
 	if size <= 0 {
 		return nil
 	}
-	ops := make([]nvm.PageOp, 0, last-first+1)
+	ops := f.takeOps(int(last - first + 1))
 	for lpn := first; lpn <= last; lpn++ {
 		ppn := f.lookup(lpn) % f.Pages()
 		if f.tap != nil {
@@ -236,27 +271,26 @@ func (f *FTL) Write(offset, size int64) []nvm.PageOp {
 	last := (offset + size - 1) / f.cell.PageSize
 	// A due checkpoint rides ahead of the write that triggered it, so the
 	// journal the snapshot supersedes is already flushed and bounded.
-	ops := f.maybeCheckpoint()
+	ops := f.maybeCheckpoint(f.takeOps(int(last - first + 1)))
 	for lpn := first; lpn <= last; lpn++ {
 		f.hostWrites++
-		ops = append(ops, f.program(lpn, true)...)
+		ops = f.program(ops, lpn, true)
 	}
 	f.probe.Count("ftl.host_writes", last-first+1)
 	return ops
 }
 
 // program appends one logical page to the log, running GC first if the free
-// pool is exhausted. host marks a host write (bumping the page's durable
-// version), as opposed to a GC or retirement relocation (which moves the
-// existing version).
-func (f *FTL) program(lpn int64, host bool) []nvm.PageOp {
-	var ops []nvm.PageOp
+// pool is exhausted, appending the emitted device operations to ops. host
+// marks a host write (bumping the page's durable version), as opposed to a
+// GC or retirement relocation (which moves the existing version).
+func (f *FTL) program(ops []nvm.PageOp, lpn int64, host bool) []nvm.PageOp {
 	if f.active < 0 || f.writePtr >= f.spb {
 		if f.active >= 0 {
 			f.sb[f.active].sealed = true
-			ops = append(ops, f.appendRec(rec{Kind: recSeal, A: f.active})...)
+			ops = f.appendRec(ops, rec{Kind: recSeal, A: f.active})
 		}
-		ops = append(ops, f.maybeGC()...)
+		ops = f.maybeGC(ops)
 		// GC relocation re-enters program and may already have opened (and
 		// partially filled) a fresh superblock; allocating unconditionally
 		// here would abandon it mid-fill and strand its valid pages.
@@ -269,7 +303,7 @@ func (f *FTL) program(lpn int64, host bool) []nvm.PageOp {
 			// the one superblock recovery scans by OOB tag.
 			if f.dur != nil {
 				f.dur.buf = append(f.dur.buf, rec{Kind: recAlloc, A: f.active})
-				ops = append(ops, f.flushJournal()...)
+				ops = f.flushJournal(ops)
 			}
 		}
 	}
@@ -301,7 +335,7 @@ func (f *FTL) program(lpn int64, host bool) []nvm.PageOp {
 			f.dur.sinceCkpt++
 		}
 		ver = f.dur.ver[lpn]
-		ops = append(ops, f.appendRec(rec{Kind: recPlace, A: lpn, B: ppn, V: ver})...)
+		ops = f.appendRec(ops, rec{Kind: recPlace, A: lpn, B: ppn, V: ver})
 	}
 	ops = append(ops, nvm.PageOp{Op: nvm.OpProgram, Loc: f.Locate(ppn), PPN: ppn, LPN: lpn, Ver: ver})
 	return ops
@@ -328,19 +362,18 @@ func (f *FTL) allocSuperblock() int64 {
 // into program, and a nested GC round could pick a victim an outer round is
 // still collecting — the victim would be pushed onto the free heap twice and
 // later be the active log twice, overwriting live pages.
-func (f *FTL) maybeGC() []nvm.PageOp {
+func (f *FTL) maybeGC(ops []nvm.PageOp) []nvm.PageOp {
 	if f.inGC {
-		return nil
+		return ops
 	}
 	f.inGC = true
 	defer func() { f.inGC = false }()
-	var ops []nvm.PageOp
 	for f.freeHeap.Len() < f.reserve {
 		victim := f.pickVictim()
 		if victim < 0 {
 			break // nothing reclaimable
 		}
-		ops = append(ops, f.collect(victim)...)
+		ops = f.collect(ops, victim)
 	}
 	return ops
 }
@@ -366,12 +399,13 @@ func (f *FTL) pickVictim() int64 {
 	return best
 }
 
-// collect relocates a victim's valid pages into the log and erases it.
-func (f *FTL) collect(victim int64) []nvm.PageOp {
+// collect relocates a victim's valid pages into the log and erases it,
+// appending the traffic to ops.
+func (f *FTL) collect(ops []nvm.PageOp, victim int64) []nvm.PageOp {
 	f.gcRuns++
 	f.probe.Count("ftl.gc.runs", 1)
 	relocatedBefore := f.relocated
-	var ops []nvm.PageOp
+	start := len(ops)
 	base := victim * f.spb
 	for p := base; p < base+f.spb; p++ {
 		lpn, ok := f.p2l[p]
@@ -386,7 +420,7 @@ func (f *FTL) collect(victim int64) []nvm.PageOp {
 		delete(f.l2p, lpn)
 		// Re-program through the normal path (may not recurse into GC since
 		// the active superblock has room or a free one exists).
-		ops = append(ops, f.program(lpn, false)...)
+		ops = f.program(ops, lpn, false)
 	}
 	// Erase every eraseblock of the superblock: one per die-plane.
 	for r := int64(0); r < f.rowsz; r++ {
@@ -396,14 +430,14 @@ func (f *FTL) collect(victim int64) []nvm.PageOp {
 	f.sb[victim].free = true
 	f.sb[victim].sealed = false
 	heap.Push(&f.freeHeap, wearEntry{id: victim, wear: f.sb[victim].wear})
-	ops = append(ops, f.appendRec(rec{Kind: recErase, A: victim, V: uint64(f.sb[victim].wear)})...)
+	ops = f.appendRec(ops, rec{Kind: recErase, A: victim, V: uint64(f.sb[victim].wear)})
 	f.probe.Count("ftl.gc.relocated_pages", f.relocated-relocatedBefore)
 	f.probe.Count("ftl.gc.erases", f.rowsz)
 	// Everything this collection emitted — relocation reads, the programs
 	// they re-entered through the normal log path (program cannot recurse
 	// into GC here), and the victim erases — is garbage-collection traffic;
 	// latency attribution charges an all-GC activation to the GC component.
-	for i := range ops {
+	for i := start; i < len(ops); i++ {
 		ops[i].GC = true
 	}
 	return ops
@@ -514,12 +548,15 @@ func (f *FTL) RetireBlock(ppn int64) nvm.Retirement {
 	s.bad = true
 	s.free = false
 	s.sealed = true
+	// Retirement is a cold path: it builds its own slice rather than
+	// borrowing the translation pool, which may already be lent out to the
+	// request whose failure triggered this retirement.
 	var ops []nvm.PageOp
 	// The grown-bad verdict flushes immediately: recovery must never
 	// allocate from (or scan garbage in) a superblock that failed.
 	if f.dur != nil {
 		f.dur.buf = append(f.dur.buf, rec{Kind: recRetire, A: v})
-		ops = append(ops, f.flushJournal()...)
+		ops = f.flushJournal(ops)
 	}
 	base := v * f.spb
 	pre := f.preloaded * f.spb
@@ -541,7 +578,7 @@ func (f *FTL) RetireBlock(ppn int64) nvm.Retirement {
 		}
 		// program() handles the identity-slot invalidation for preloaded
 		// pages and appends the new copy to the log.
-		ops = append(ops, f.program(lpn, false)...)
+		ops = f.program(ops, lpn, false)
 	}
 	return nvm.Retirement{Ops: ops, Retired: true, OK: true}
 }

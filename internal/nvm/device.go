@@ -120,6 +120,21 @@ type Device struct {
 	// whose journal pages were still queued behind the erase.
 	media MediaTap
 
+	// Scheduling scratch, reused across Submits. The die buckets, plane
+	// merge queues, activation lists and the multi-plane group arena below
+	// used to be rebuilt for every request and were the dominant allocation
+	// source of a replay; as persistent per-device storage they grow to the
+	// workload's high-water mark once and steady-state scheduling allocates
+	// nothing. Activation op slices alias this storage, so they are valid
+	// only until the next Submit — exactly the request lifetime.
+	scBuckets [][]PageOp     // per (channel, die) op buckets, layout order
+	scDieActs [][]activation // per non-empty die activation sequences
+	scOut     []activation   // round-robin interleaved dispatch order
+	scErase   []activation   // durable-mode erase-barrier holdbacks
+	scPlane   [][]PageOp     // per-plane merge queues
+	scPlaneHd []int          // consumed heads of the per-plane queues
+	scGroups  []PageOp       // arena backing multi-plane activation groups
+
 	// att, when non-nil, receives per-request critical-path attribution:
 	// the chain of timestamp differences from dispatch to completion of
 	// every cell activation (the latest-finishing chain is the request's
@@ -315,22 +330,14 @@ func (d *Device) Submit(at sim.Time, ops []PageOp) sim.Time {
 		}
 	}
 
-	groups := d.groupByDie(ops)
-	acts := d.mergePlanes(groups)
+	acts, interleave := d.schedule(ops)
 
 	var (
 		end        sim.Time
-		channels   = make(map[int]bool)
-		diesPerCh  = make(map[int]map[int]bool)
 		multiplane bool
-		eraseActs  []activation
 	)
+	eraseActs := d.scErase[:0]
 	for _, a := range acts {
-		channels[a.loc.Channel] = true
-		if diesPerCh[a.loc.Channel] == nil {
-			diesPerCh[a.loc.Channel] = make(map[int]bool)
-		}
-		diesPerCh[a.loc.Channel][a.loc.Die] = true
 		if len(a.ops) > 1 {
 			multiplane = true
 		}
@@ -345,6 +352,7 @@ func (d *Device) Submit(at sim.Time, ops []PageOp) sim.Time {
 		}
 		end = sim.MaxTime(end, d.runActivation(issue, 0, a, attributing))
 	}
+	d.scErase = eraseActs
 	if len(eraseActs) > 0 {
 		barrier := sim.MaxTime(end, issue)
 		for _, a := range eraseActs {
@@ -352,13 +360,6 @@ func (d *Device) Submit(at sim.Time, ops []PageOp) sim.Time {
 		}
 	}
 
-	interleave := false
-	for _, dset := range diesPerCh {
-		if len(dset) > 1 {
-			interleave = true
-			break
-		}
-	}
 	pal := PAL1
 	switch {
 	case interleave && multiplane:
@@ -420,81 +421,112 @@ func (d *Device) runActivation(issueAt, pre sim.Time, a activation, attributing 
 	return done
 }
 
-// groupByDie buckets ops per (channel, die) in deterministic layout order.
-func (d *Device) groupByDie(ops []PageOp) [][]PageOp {
+// schedule buckets ops per (channel, die) in deterministic layout order,
+// merges each die bucket into a sequence of activations — pairing ops on
+// distinct planes of the die into multi-plane activations when the medium
+// supports it and the ops share the same verb — and interleaves the per-die
+// sequences round-robin (activation 0 of every die, then activation 1, ...)
+// so that shared resources — the channel buses and the host link — are booked
+// in approximate time order, the way the controller actually dispatches work
+// across dies. It also reports die interleaving (some channel drives more
+// than one die) for the request's PAL classification.
+//
+// Everything is built in the device's persistent scratch: the returned
+// activations and their op slices are valid only until the next Submit.
+func (d *Device) schedule(ops []PageOp) (out []activation, interleave bool) {
 	dpc := d.Geo.DiesPerChannel()
-	buckets := make([][]PageOp, d.Geo.Channels*dpc)
+	planes := d.Cell.Planes
+	if n := d.Geo.Channels * dpc; len(d.scBuckets) != n {
+		d.scBuckets = make([][]PageOp, n)
+	}
+	if planes > 1 && len(d.scPlane) != planes {
+		d.scPlane = make([][]PageOp, planes)
+		d.scPlaneHd = make([]int, planes)
+	}
+	buckets := d.scBuckets
+	for i := range buckets {
+		buckets[i] = buckets[i][:0]
+	}
+	d.scGroups = d.scGroups[:0]
 	for _, op := range ops {
 		idx := op.Loc.Channel*dpc + op.Loc.Die
 		buckets[idx] = append(buckets[idx], op)
 	}
-	return buckets
-}
 
-// mergePlanes turns each die bucket into a sequence of activations, pairing
-// ops on distinct planes of the die into multi-plane activations when the
-// medium supports it and the ops share the same verb. The per-die sequences
-// are then interleaved round-robin (activation 0 of every die, then
-// activation 1, ...) so that shared resources — the channel buses and the
-// host link — are booked in approximate time order, the way the controller
-// actually dispatches work across dies.
-func (d *Device) mergePlanes(buckets [][]PageOp) []activation {
-	planes := d.Cell.Planes
-	perDie := make([][]activation, 0, len(buckets))
-	maxLen := 0
-	for _, bucket := range buckets {
+	nDie, maxLen := 0, 0
+	curCh, chDies := -1, 0
+	for idx, bucket := range buckets {
 		if len(bucket) == 0 {
 			continue
 		}
-		var acts []activation
+		if ch := idx / dpc; ch != curCh {
+			curCh, chDies = ch, 0
+		}
+		if chDies++; chDies > 1 {
+			interleave = true
+		}
+		if nDie == len(d.scDieActs) {
+			d.scDieActs = append(d.scDieActs, nil)
+		}
+		acts := d.scDieActs[nDie][:0]
 		if planes <= 1 {
-			acts = make([]activation, 0, len(bucket))
-			for _, op := range bucket {
-				acts = append(acts, activation{loc: op.Loc, ops: []PageOp{op}})
+			for i := range bucket {
+				acts = append(acts, activation{loc: bucket[i].Loc, ops: bucket[i : i+1 : i+1]})
 			}
 		} else {
-			// Queue per plane, preserving arrival order.
-			perPlane := make([][]PageOp, planes)
+			// Queue per plane, preserving arrival order; heads advance as
+			// rounds consume them.
+			for p := 0; p < planes; p++ {
+				d.scPlane[p] = d.scPlane[p][:0]
+				d.scPlaneHd[p] = 0
+			}
 			for _, op := range bucket {
 				p := op.Loc.Plane % planes
-				perPlane[p] = append(perPlane[p], op)
+				d.scPlane[p] = append(d.scPlane[p], op)
 			}
 			for {
-				var group []PageOp
+				gstart := len(d.scGroups)
 				var verb Op
 				for p := 0; p < planes; p++ {
-					if len(perPlane[p]) == 0 {
+					if d.scPlaneHd[p] >= len(d.scPlane[p]) {
 						continue
 					}
-					head := perPlane[p][0]
-					if len(group) == 0 {
+					head := d.scPlane[p][d.scPlaneHd[p]]
+					if len(d.scGroups) == gstart {
 						verb = head.Op
 					} else if head.Op != verb {
 						continue // different verb cannot share an activation
 					}
-					group = append(group, head)
-					perPlane[p] = perPlane[p][1:]
+					d.scGroups = append(d.scGroups, head)
+					d.scPlaneHd[p]++
 				}
-				if len(group) == 0 {
+				if len(d.scGroups) == gstart {
 					break
 				}
+				// The arena may regrow under later groups; earlier group
+				// slices keep the copied-out old backing, which is fine —
+				// groups are read-only for the rest of the request.
+				group := d.scGroups[gstart:len(d.scGroups):len(d.scGroups)]
 				acts = append(acts, activation{loc: group[0].Loc, ops: group})
 			}
 		}
-		perDie = append(perDie, acts)
+		d.scDieActs[nDie] = acts
+		nDie++
 		if len(acts) > maxLen {
 			maxLen = len(acts)
 		}
 	}
-	var out []activation
+
+	out = d.scOut[:0]
 	for i := 0; i < maxLen; i++ {
-		for _, acts := range perDie {
-			if i < len(acts) {
-				out = append(out, acts[i])
+		for k := 0; k < nDie; k++ {
+			if a := d.scDieActs[k]; i < len(a) {
+				out = append(out, a[i])
 			}
 		}
 	}
-	return out
+	d.scOut = out
+	return out, interleave
 }
 
 // markChan records channel busy time for the utilization probes.

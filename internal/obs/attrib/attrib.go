@@ -463,6 +463,31 @@ func (rec *Recorder) offer(r Record) {
 	}
 }
 
+// Reset clears the recorder's aggregates, exemplar heap and any open
+// request while keeping the exemplar backing storage and the registry
+// histogram bindings, so a recorder reused across runs records into
+// recycled memory. The request ID sequence restarts at zero.
+func (rec *Recorder) Reset() {
+	if rec == nil {
+		return
+	}
+	rec.active = false
+	rec.paused = 0
+	rec.nextID = 0
+	rec.inAct = false
+	rec.bestSet = false
+	rec.bestFold = noFold
+	rec.bestEnd = 0
+	rec.requests = 0
+	rec.aborted = 0
+	rec.violations = 0
+	rec.maxResidual = 0
+	rec.totalLatency = 0
+	rec.totals = [NumComponents]sim.Time{}
+	rec.dominant = [NumComponents]int64{}
+	rec.topK = rec.topK[:0]
+}
+
 // Requests reports how many requests have been committed.
 func (rec *Recorder) Requests() int64 {
 	if rec == nil {

@@ -83,6 +83,16 @@ func (t *Tracer) Dropped() int64 {
 	return t.dropped
 }
 
+// Reset drops every recorded span and clears the overflow counter while
+// keeping the backing array, so a tracer reused across runs records into
+// recycled storage instead of re-growing a fresh span list.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	t.spans = t.spans[:0]
+	t.dropped = 0
+	t.mu.Unlock()
+}
+
 // SpanRecord is one recorded span, as returned by Spans.
 type SpanRecord struct {
 	Layer, Track, Name string

@@ -1,0 +1,130 @@
+// Package pool provides the generation-counted free-lists the simulator's
+// hot request/event lifecycle recycles its slice storage through.
+//
+// The simulator is a single goroutine per drive, and every pooled object has
+// a strictly bracketed lifetime: a translator borrows a page-op buffer at
+// translation time and the drive releases it when the request's scheduling
+// is complete. A pool therefore needs no locking — one pool belongs to one
+// drive — but it does need a way to catch the one bug class pooling
+// introduces: code that holds a borrowed slice past its release and reads
+// recycled storage. Every borrow carries a generation number; releasing
+// bumps the entry's generation, so a stale Ref detects its own invalidity.
+// The checks run only in debug mode (enabled under `-race` builds, or
+// explicitly via SetDebug) and cost nothing in release builds beyond one
+// atomic load per checked operation.
+package pool
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// debugging gates the generation checks. Race builds switch it on at init
+// (pool_race.go); tests may toggle it with SetDebug.
+var debugging atomic.Bool
+
+// SetDebug turns use-after-release checking on or off process-wide.
+// Returns the previous setting so tests can restore it.
+func SetDebug(on bool) bool { return debugging.Swap(on) }
+
+// Debugging reports whether generation checks are active.
+func Debugging() bool { return debugging.Load() }
+
+// entry is one pooled slice with its lifecycle bookkeeping.
+type entry[T any] struct {
+	buf []T
+	gen uint32
+	out bool
+}
+
+// Ref is a borrowed reference to a pooled slice: the entry plus the
+// generation the borrow happened under. The zero Ref is "no borrow" and
+// reports Valid() == false.
+type Ref[T any] struct {
+	e   *entry[T]
+	gen uint32
+}
+
+// Valid reports whether r still refers to a live borrow (non-zero, not yet
+// released, and not recycled behind the holder's back).
+func (r Ref[T]) Valid() bool {
+	return r.e != nil && r.e.out && r.gen == r.e.gen
+}
+
+// check panics when the reference is stale — the debug-mode use-after-release
+// trap.
+func (r Ref[T]) check() {
+	if r.e == nil {
+		panic("pool: use of zero Ref")
+	}
+	if !r.e.out || r.gen != r.e.gen {
+		panic(fmt.Sprintf(
+			"pool: use-after-release: ref generation %d, entry generation %d (out=%v)",
+			r.gen, r.e.gen, r.e.out))
+	}
+}
+
+// Slice returns the borrowed storage, length zero, ready to append into.
+// In debug mode a released Ref panics here.
+func (r Ref[T]) Slice() []T {
+	if debugging.Load() {
+		r.check()
+	}
+	return r.e.buf[:0]
+}
+
+// Buffers is a free-list of reusable slices of T. Not safe for concurrent
+// use: a pool belongs to exactly one drive (ssd.New creates one per
+// instance), which is what lets Matrix workers keep their parallelism
+// without any cross-run sharing.
+type Buffers[T any] struct {
+	free []*entry[T]
+
+	// Lifetime accounting, for tests and the alloc-budget table.
+	gets   int64
+	reuses int64
+}
+
+// Get borrows a zero-length slice with capacity at least capHint. The first
+// borrows allocate; steady state pops recycled storage off the free list.
+func (p *Buffers[T]) Get(capHint int) Ref[T] {
+	p.gets++
+	var e *entry[T]
+	if n := len(p.free); n > 0 {
+		e = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.reuses++
+	} else {
+		e = &entry[T]{}
+	}
+	if cap(e.buf) < capHint {
+		e.buf = make([]T, 0, capHint)
+	}
+	e.out = true
+	return Ref[T]{e: e, gen: e.gen}
+}
+
+// Put releases a borrow back to the free list. final is the slice the
+// borrower ended up with — appends may have regrown it past the borrowed
+// backing array, and the pool keeps whichever storage the borrow grew into,
+// so capacity ratchets up to the workload's high-water mark and growth
+// allocations amortize to zero. Releasing bumps the generation: any Ref
+// still held for this entry is now stale, and debug mode panics on its next
+// use (or on a double Put).
+func (p *Buffers[T]) Put(r Ref[T], final []T) {
+	if debugging.Load() {
+		r.check()
+	}
+	e := r.e
+	e.gen++
+	e.out = false
+	e.buf = final[:0]
+	p.free = append(p.free, e)
+}
+
+// Gets reports how many borrows the pool has served.
+func (p *Buffers[T]) Gets() int64 { return p.gets }
+
+// Reuses reports how many borrows were served from recycled storage.
+func (p *Buffers[T]) Reuses() int64 { return p.reuses }

@@ -1,0 +1,9 @@
+//go:build race
+
+package pool
+
+// Race builds run the full test suite with use-after-release checking on:
+// the race detector catches cross-goroutine sharing, the generation counters
+// catch same-goroutine lifetime violations — together they cover both bug
+// classes pooling can introduce.
+func init() { debugging.Store(true) }

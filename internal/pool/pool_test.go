@@ -1,0 +1,123 @@
+package pool
+
+import (
+	"testing"
+)
+
+func withDebug(t *testing.T, on bool) {
+	t.Helper()
+	prev := SetDebug(on)
+	t.Cleanup(func() { SetDebug(prev) })
+}
+
+func TestGetPutRecycles(t *testing.T) {
+	var p Buffers[int]
+	ref := p.Get(4)
+	s := ref.Slice()
+	if len(s) != 0 || cap(s) < 4 {
+		t.Fatalf("borrowed slice len=%d cap=%d, want len 0 cap >= 4", len(s), cap(s))
+	}
+	s = append(s, 1, 2, 3)
+	p.Put(ref, s)
+
+	ref2 := p.Get(1)
+	s2 := ref2.Slice()
+	if cap(s2) < 4 {
+		t.Errorf("recycled borrow lost its capacity: cap=%d, want >= 4", cap(s2))
+	}
+	if p.Gets() != 2 || p.Reuses() != 1 {
+		t.Errorf("gets=%d reuses=%d, want 2/1", p.Gets(), p.Reuses())
+	}
+}
+
+func TestPutKeepsRegrownStorage(t *testing.T) {
+	var p Buffers[int]
+	ref := p.Get(1)
+	s := ref.Slice()
+	for i := 0; i < 100; i++ {
+		s = append(s, i) // forces regrowth past the borrowed backing
+	}
+	p.Put(ref, s)
+	if got := p.Get(1).Slice(); cap(got) < 100 {
+		t.Errorf("pool kept the small backing: cap=%d, want >= 100", cap(got))
+	}
+}
+
+func TestZeroRefInvalid(t *testing.T) {
+	var r Ref[int]
+	if r.Valid() {
+		t.Error("zero Ref reports Valid")
+	}
+}
+
+// TestUseAfterReleasePanics is the generation-counter violation test: a
+// holder that keeps a released Ref and touches it again must panic in debug
+// mode. This is the contract that makes pooled request buffers safe — the
+// production lifecycle (borrow at translation, release after scheduling)
+// never trips it, and `-race` CI builds run every test with it armed.
+func TestUseAfterReleasePanics(t *testing.T) {
+	withDebug(t, true)
+	var p Buffers[int]
+	ref := p.Get(4)
+	p.Put(ref, ref.Slice())
+	defer func() {
+		if recover() == nil {
+			t.Error("Slice() on a released Ref did not panic in debug mode")
+		}
+	}()
+	_ = ref.Slice()
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	withDebug(t, true)
+	var p Buffers[int]
+	ref := p.Get(4)
+	s := ref.Slice()
+	p.Put(ref, s)
+	defer func() {
+		if recover() == nil {
+			t.Error("second Put of the same Ref did not panic in debug mode")
+		}
+	}()
+	p.Put(ref, s)
+}
+
+func TestStaleRefAfterRecycleDetected(t *testing.T) {
+	withDebug(t, true)
+	var p Buffers[int]
+	ref := p.Get(4)
+	p.Put(ref, ref.Slice())
+	fresh := p.Get(4) // recycles the same entry under a new generation
+	if ref.Valid() {
+		t.Error("stale Ref reports Valid after its entry was recycled")
+	}
+	if !fresh.Valid() {
+		t.Error("fresh Ref reports invalid")
+	}
+}
+
+func TestReleaseChecksFreeInReleaseMode(t *testing.T) {
+	withDebug(t, false)
+	var p Buffers[int]
+	ref := p.Get(4)
+	p.Put(ref, ref.Slice())
+	// Without debug mode a stale Slice() must not panic (release builds
+	// pay no checking cost); it simply returns the recycled storage.
+	_ = ref.Slice()
+}
+
+func TestAllocsSteadyState(t *testing.T) {
+	var p Buffers[byte]
+	// Warm up to the high-water capacity.
+	for i := 0; i < 4; i++ {
+		ref := p.Get(256)
+		p.Put(ref, ref.Slice()[:256])
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		ref := p.Get(256)
+		p.Put(ref, ref.Slice())
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state Get/Put allocates %.1f objects per cycle, want 0", allocs)
+	}
+}

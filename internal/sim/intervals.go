@@ -1,7 +1,5 @@
 package sim
 
-import "sort"
-
 // IntervalSet accumulates possibly-overlapping busy intervals and reports
 // the total covered time — the "kept busy" union the paper's channel- and
 // package-level utilization probes measure. Appends that touch the most
@@ -9,9 +7,20 @@ import "sort"
 type IntervalSet struct {
 	spans  []span
 	sorted bool
+	// nextCompact is the span count that triggers the next in-place merge;
+	// it doubles relative to what survives a merge so genuinely disjoint
+	// workloads stay amortized O(1) per Add instead of re-merging every
+	// append.
+	nextCompact int
 }
 
 type span struct{ start, end Time }
+
+// compactThreshold bounds the lazily-accumulated tail: once the set holds
+// this many spans it merges in place, so a long replay's per-event appends
+// reuse a bounded, recycled backing array instead of growing one span per
+// booking for the whole run.
+const compactThreshold = 256
 
 // Add records a busy interval. Zero- or negative-length intervals are
 // ignored.
@@ -36,6 +45,78 @@ func (s *IntervalSet) Add(start, end Time) {
 		}
 	}
 	s.spans = append(s.spans, span{start, end})
+	if s.nextCompact == 0 {
+		s.nextCompact = compactThreshold
+	}
+	if len(s.spans) >= s.nextCompact {
+		s.compact()
+		s.nextCompact = 2 * len(s.spans)
+		if s.nextCompact < compactThreshold {
+			s.nextCompact = compactThreshold
+		}
+	}
+}
+
+// compact sorts and merges the spans in place (the union is unchanged),
+// shrinking the set back to its disjoint intervals while keeping the backing
+// storage for subsequent appends.
+func (s *IntervalSet) compact() {
+	if len(s.spans) == 0 {
+		s.sorted = true
+		return
+	}
+	if !s.sorted {
+		sortSpans(s.spans)
+	}
+	merged := s.spans[:1]
+	for _, sp := range s.spans[1:] {
+		last := &merged[len(merged)-1]
+		if sp.start <= last.end {
+			if sp.end > last.end {
+				last.end = sp.end
+			}
+			continue
+		}
+		merged = append(merged, sp)
+	}
+	s.spans = merged
+	s.sorted = true
+}
+
+// sortSpans orders spans by start time with an in-place heapsort.
+// sort.Slice would allocate (its reflect-based swapper escapes) on every
+// compaction, which Stats-time Covered calls turn into a per-run cost
+// multiplied by the channel and package cover-set count; a hand-rolled sort
+// keeps the compaction allocation-free. Ties in start order are merged away
+// by compact, so the unstable order cannot change the union.
+func sortSpans(spans []span) {
+	n := len(spans)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftSpan(spans, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		spans[0], spans[i] = spans[i], spans[0]
+		siftSpan(spans, 0, i)
+	}
+}
+
+// siftSpan restores the max-heap property for the subtree rooted at i,
+// considering only the first n elements.
+func siftSpan(spans []span, i, n int) {
+	for {
+		big := i
+		if l := 2*i + 1; l < n && spans[l].start > spans[big].start {
+			big = l
+		}
+		if r := 2*i + 2; r < n && spans[r].start > spans[big].start {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		spans[i], spans[big] = spans[big], spans[i]
+		i = big
+	}
 }
 
 // Covered returns the total length of the union of all intervals.
@@ -44,20 +125,7 @@ func (s *IntervalSet) Covered() Time {
 		return 0
 	}
 	if !s.sorted {
-		sort.Slice(s.spans, func(i, j int) bool { return s.spans[i].start < s.spans[j].start })
-		merged := s.spans[:1]
-		for _, sp := range s.spans[1:] {
-			last := &merged[len(merged)-1]
-			if sp.start <= last.end {
-				if sp.end > last.end {
-					last.end = sp.end
-				}
-				continue
-			}
-			merged = append(merged, sp)
-		}
-		s.spans = merged
-		s.sorted = true
+		s.compact()
 	}
 	var total Time
 	for _, sp := range s.spans {
@@ -78,8 +146,8 @@ func (s *IntervalSet) Utilization(spanLen Time) float64 {
 	return u
 }
 
-// Reset empties the set.
-func (s *IntervalSet) Reset() { s.spans = s.spans[:0]; s.sorted = false }
+// Reset empties the set, keeping its storage for reuse.
+func (s *IntervalSet) Reset() { s.spans = s.spans[:0]; s.sorted = false; s.nextCompact = 0 }
 
 // Len reports the current (possibly unmerged) interval count, for tests.
 func (s *IntervalSet) Len() int { return len(s.spans) }

@@ -29,7 +29,15 @@ func NewWindow(depth int, maxBytes int64) *Window {
 	if depth <= 0 {
 		depth = 1
 	}
-	return &Window{depth: depth, maxBytes: maxBytes}
+	// The heap never exceeds the queue depth (Admit pops below depth before
+	// every Complete push), so sizing the backing array up front removes the
+	// growth reallocations from the replay hot path. Absurd depths are
+	// clamped; push still grows on demand past the clamp.
+	pre := depth
+	if pre > 4096 {
+		pre = 4096
+	}
+	return &Window{depth: depth, maxBytes: maxBytes, heap: make([]inflightOp, 0, pre)}
 }
 
 // Depth reports the configured queue depth.

@@ -95,6 +95,9 @@ func (q *PAQ) cost(op trace.BlockOp) sim.Time {
 			worst = f
 		}
 	}
+	// The probe borrowed a translation slice like any host read; hand it
+	// back before the real submission needs one.
+	q.ssd.releaseOps(ops)
 	return worst
 }
 

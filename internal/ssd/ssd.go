@@ -18,6 +18,7 @@ import (
 	"oocnvm/internal/obs/attrib"
 	"oocnvm/internal/obs/hostperf"
 	"oocnvm/internal/obs/timeseries"
+	"oocnvm/internal/pool"
 	"oocnvm/internal/sim"
 	"oocnvm/internal/trace"
 )
@@ -44,6 +45,17 @@ type BlockRetirer interface {
 	RetireBlock(ppn int64) nvm.Retirement
 }
 
+// OpPooler is implemented by translators that can borrow the page-op slices
+// their host-facing translations return from a per-drive free list. The
+// drive attaches its pool at construction and releases each translation's
+// slice once the request's scheduling is complete; the requests are strictly
+// serial (one goroutine per drive, single outstanding translation), so at
+// most one borrow is live at a time.
+type OpPooler interface {
+	SetOpPool(p *pool.Buffers[nvm.PageOp])
+	ReleaseOps(ops []nvm.PageOp)
+}
+
 // DirectSpareBlocks is the eraseblock count Direct reserves at the top of
 // the address space as grown-bad replacements. The effective degradation
 // policy is the fault injector's (usually smaller) spare budget; this bound
@@ -65,6 +77,35 @@ type Direct struct {
 	nextSpare int64           // next spare block id, counting down
 
 	tap nvm.MappingTap
+
+	// opPool recycles translation slices when the drive attaches its free
+	// list; opRef is the (single) live borrow. See OpPooler.
+	opPool *pool.Buffers[nvm.PageOp]
+	opRef  pool.Ref[nvm.PageOp]
+}
+
+// SetOpPool implements OpPooler: subsequent translations borrow their slices
+// from the drive's free list.
+func (d *Direct) SetOpPool(p *pool.Buffers[nvm.PageOp]) { d.opPool = p }
+
+// takeOps returns the slice a translation builds into: a pooled borrow when
+// the drive attached a free list, a fresh allocation otherwise.
+func (d *Direct) takeOps(hint int) []nvm.PageOp {
+	if d.opPool == nil {
+		return make([]nvm.PageOp, 0, hint)
+	}
+	d.opRef = d.opPool.Get(hint)
+	return d.opRef.Slice()
+}
+
+// ReleaseOps implements OpPooler: the translation slice (and any aliases)
+// must not be touched after release. Never-borrowed slices are ignored.
+func (d *Direct) ReleaseOps(ops []nvm.PageOp) {
+	if d.opPool == nil || !d.opRef.Valid() {
+		return
+	}
+	d.opPool.Put(d.opRef, ops)
+	d.opRef = pool.Ref[nvm.PageOp]{}
 }
 
 // SetMappingTap attaches a conformance tap observing every translation this
@@ -135,7 +176,7 @@ func (d *Direct) mapRange(op nvm.Op, offset, size int64) []nvm.PageOp {
 	first := offset / d.Cell.PageSize
 	last := (offset + size - 1) / d.Cell.PageSize
 	total := d.pages()
-	ops := make([]nvm.PageOp, 0, last-first+1)
+	ops := d.takeOps(int(last - first + 1))
 	for lpn := first; lpn <= last; lpn++ {
 		ppn := d.redirect(lpn % total)
 		if d.tap != nil {
@@ -169,7 +210,7 @@ func (d *Direct) Erase(offset, size int64) []nvm.PageOp {
 	blockBytes := d.Cell.BlockSize()
 	first := offset / blockBytes
 	last := (offset + size - 1) / blockBytes
-	ops := make([]nvm.PageOp, 0, last-first+1)
+	ops := d.takeOps(int(last - first + 1))
 	ppb := int64(d.Cell.PagesPerBlock)
 	for b := first; b <= last; b++ {
 		// Identify the die-plane owning this block via its first page.
@@ -289,6 +330,28 @@ type SSD struct {
 	att          *attrib.Recorder
 	mountRO      error
 	err          error
+
+	// opPool is this drive's page-op free list; pooled is the translator's
+	// release hook when it borrows from the pool (nil for translators that
+	// allocate their own slices). Per-instance pooling keeps Matrix workers
+	// share-nothing.
+	opPool *pool.Buffers[nvm.PageOp]
+	pooled OpPooler
+}
+
+// releaseOps hands a finished translation's slice back to the translator's
+// free list (a no-op for non-pooling translators).
+func (s *SSD) releaseOps(ops []nvm.PageOp) {
+	if s.pooled != nil {
+		s.pooled.ReleaseOps(ops)
+	}
+}
+
+// OpPoolStats reports the drive's page-op free-list activity: total borrows
+// served and how many reused recycled storage. Zero/zero when the translator
+// does not pool.
+func (s *SSD) OpPoolStats() (gets, reuses int64) {
+	return s.opPool.Gets(), s.opPool.Reuses()
 }
 
 // SetProbe attaches an observability probe to the drive, its device, the
@@ -328,6 +391,11 @@ func New(cfg Config) (*SSD, error) {
 		hostOverhead: cfg.HostOverhead,
 		capacity:     cfg.Translator.CapacityBytes(),
 		probe:        obs.Nop{},
+		opPool:       new(pool.Buffers[nvm.PageOp]),
+	}
+	if op, ok := cfg.Translator.(OpPooler); ok {
+		op.SetOpPool(s.opPool)
+		s.pooled = op
 	}
 	if cfg.Fault != nil && cfg.Fault.Enabled() {
 		s.faults = cfg.Fault
@@ -563,6 +631,9 @@ func (s *SSD) Submit(op trace.BlockOp) (sim.Time, error) {
 			obs.Attr{Key: "size", Value: op.Size},
 			obs.Attr{Key: "pages", Value: int64(len(pageOps))})
 	}
+	// The request is fully scheduled and every reader of pageOps above is
+	// done: recycle the translation's storage for the next request.
+	s.releaseOps(pageOps)
 	return end, err
 }
 
